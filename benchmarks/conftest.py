@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark suite.
+
+Every paper table/figure has a bench target that regenerates it at reduced
+scale (full-scale runs go through ``python -m repro.experiments``).  The
+benches assert the *shape* of each result — who wins, in which direction a
+curve moves — not absolute numbers.
+"""
+
+import pytest
+
+#: Dataset scale used by the experiment-driver benches.  Small enough for
+#: the full suite to complete in minutes, large enough for the qualitative
+#: shapes to hold.
+BENCH_SCALE = 0.12
+BENCH_SEEDS = 5
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seeds() -> int:
+    return BENCH_SEEDS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment driver exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

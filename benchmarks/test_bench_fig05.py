@@ -1,0 +1,23 @@
+"""Bench for Fig. 5: greedy vs non-greedy convergence curves."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_convergence
+
+
+def test_fig05_shape(benchmark):
+    result = run_once(
+        benchmark,
+        fig05_convergence.run,
+        settings=[("pubmed", 1e-5)],
+        scale=1.0,
+        alpha=0.8,
+    )
+    panel = result["panels"]["pubmed"]
+    # Paper's shape: greedy needs more iterations and plateaus at a higher
+    # residual than the non-greedy variant.
+    assert panel["greedy_iterations"] >= panel["nongreedy_iterations"]
+    assert panel["greedy"][-1] >= panel["nongreedy"][-1] - 1e-12
+    # Both curves are monotonically non-increasing.
+    for series in (panel["greedy"], panel["nongreedy"]):
+        assert all(b <= a + 1e-12 for a, b in zip(series, series[1:]))

@@ -1,0 +1,26 @@
+"""Bench for Fig. 6: recall vs diffusion threshold ε."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig06_recall
+
+
+def test_fig06_shape(benchmark):
+    epsilons = [1e-1, 1e-3, 1e-5]
+    result = run_once(
+        benchmark,
+        fig06_recall.run,
+        datasets=["cora"],
+        epsilons=epsilons,
+        scale=0.3,
+        n_seeds=4,
+    )
+    series = result["panels"]["cora"]
+    # Recall grows (weakly) as ε shrinks for every method.
+    for name, values in series.items():
+        assert values[-1] >= values[0] - 1e-9, name
+    # LACA (C) dominates PR-Nibble at the tightest ε (paper's shape).
+    assert series["LACA (C)"][-1] >= series["PR-Nibble"][-1] - 0.05
+    # The attribute-free ablation is never better than full LACA at the
+    # loosest budget by a wide margin (SNAS finds far-away members).
+    assert series["LACA (C)"][-1] >= series["LACA (w/o SNAS)"][-1] - 0.1

@@ -1,0 +1,23 @@
+"""Bench for Fig. 7: preprocessing vs online running times."""
+
+from conftest import run_once
+
+from repro.experiments import fig07_runtime
+
+
+def test_fig07_shape(benchmark):
+    result = run_once(
+        benchmark,
+        fig07_runtime.run,
+        datasets=["arxiv"],
+        scale=0.2,
+        n_seeds=3,
+        competitors=["PR-Nibble", "HK-Relax", "WFD", "p-Norm FD"],
+    )
+    rows = {row["method"]: row for row in result["panels"]["arxiv"]}
+    # LACA's online stage beats the flow-based methods (paper: 100-200×;
+    # we require a conservative margin at reduced scale).
+    assert rows["LACA (C)"]["online_s"] < rows["WFD"]["online_s"]
+    assert rows["LACA (C)"]["online_s"] < rows["p-Norm FD"]["online_s"]
+    # Preprocessing stays cheap (a few seconds even at full scale).
+    assert rows["LACA (C)"]["preprocess_s"] < 10.0

@@ -1,0 +1,32 @@
+"""Bench for Fig. 9: the α / σ / k parameter study."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_parameters
+
+
+def test_fig09_shape(benchmark):
+    alphas = [0.1, 0.5, 0.9]
+    result = run_once(
+        benchmark,
+        fig09_parameters.run,
+        datasets=["cora"],
+        scale=0.25,
+        n_seeds=4,
+        metrics=("cosine",),
+        alphas=alphas,
+        sigmas=[0.0, 1.0],
+        ks=[8, 32],
+    )
+    alpha_curve = result["sweeps"]["alpha"][("cosine", "cora")]
+    # Paper's shape: precision increases conspicuously with α.
+    assert alpha_curve[-1] > alpha_curve[0]
+
+    k_curve = result["sweeps"]["k"][("cosine", "cora")]
+    # k = 32 performs at least as well as k = 8 (saturation by 32).
+    assert k_curve[-1] >= k_curve[0] - 0.05
+
+    sigma_curve = result["sweeps"]["sigma"][("cosine", "cora")]
+    # σ is a mild knob on sparse citation analogs (paper: "not sensitive
+    # to σ on Cora and PubMed").
+    assert abs(sigma_curve[0] - sigma_curve[-1]) < 0.25

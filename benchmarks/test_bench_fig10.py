@@ -1,0 +1,25 @@
+"""Bench for Fig. 10: scalability in ε and k."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_scalability
+
+
+def test_fig10_shape(benchmark):
+    result = run_once(
+        benchmark,
+        fig10_scalability.run,
+        datasets=["arxiv"],
+        scale=0.4,
+        n_seeds=2,
+        metrics=("cosine",),
+        epsilons=[1e-2, 1e-4, 1e-6],
+        ks=[8, 64],
+    )
+    eps_times = result["results"]["epsilon"][("cosine", "arxiv")]
+    # Paper's shape: time grows as ε shrinks (O(1/ε) online complexity).
+    assert eps_times[-1] > eps_times[0]
+
+    k_times = result["results"]["k"][("cosine", "arxiv")]
+    # Time is dominated by 1/ε, not k: an 8× larger k costs < 5× time.
+    assert k_times[1] < 5.0 * max(k_times[0], 1e-4)

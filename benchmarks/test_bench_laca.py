@@ -1,0 +1,54 @@
+"""Micro-benchmarks of LACA's two stages (preprocessing + online query).
+
+Complements Fig. 7/10 drivers with isolated timings of Algo 3 (TNAM
+construction, both metrics) and Algo 4 (per-seed query), so regressions
+in either stage surface independently.
+"""
+
+import pytest
+
+from repro.attributes.tnam import build_tnam
+from repro.core.config import LacaConfig
+from repro.core.laca import laca_scores
+from repro.core.pipeline import LACA
+from repro.graphs.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("arxiv", scale=0.4)
+
+
+def test_bench_tnam_cosine(benchmark, graph):
+    tnam = benchmark(build_tnam, graph.attributes, 32, "cosine")
+    assert tnam.z.shape == (graph.n, 32)
+
+
+def test_bench_tnam_exp_cosine(benchmark, graph):
+    tnam = benchmark(build_tnam, graph.attributes, 32, "exp_cosine")
+    assert tnam.z.shape == (graph.n, 64)
+
+
+@pytest.fixture(scope="module")
+def fitted_model(graph):
+    return LACA(metric="cosine", epsilon=1e-6).fit(graph)
+
+
+def test_bench_laca_online(benchmark, graph, fitted_model):
+    config = fitted_model.config
+
+    def query():
+        return laca_scores(graph, 11, config=config, tnam=fitted_model.tnam)
+
+    result = benchmark(query)
+    assert result.support_size > 0
+
+
+def test_bench_laca_online_no_snas(benchmark, graph):
+    config = LacaConfig(use_snas=False, epsilon=1e-6)
+
+    def query():
+        return laca_scores(graph, 11, config=config)
+
+    result = benchmark(query)
+    assert result.support_size > 0

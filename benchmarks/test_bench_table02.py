@@ -1,0 +1,20 @@
+"""Bench for Table II: greedy's low-degree bias in explored clusters."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table02_degrees
+
+
+def test_table02_shape(benchmark):
+    result = run_once(
+        benchmark,
+        table02_degrees.run,
+        datasets=["yelp"],
+        scale=0.25,
+        n_seeds=6,
+        epsilon=1e-4,
+    )
+    row = result["rows"][0]
+    # Paper's shape: the greedy strategy explores lower-degree regions
+    # than the non-greedy one on the dense Yelp analog.
+    assert row["greedy"] <= row["nongreedy"] + 1e-9

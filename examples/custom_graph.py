@@ -1,0 +1,96 @@
+"""Using the library on your own data — an API tour.
+
+Builds an attributed graph from scratch (a product co-purchase scenario),
+runs LACA, inspects diagnostics, compares diffusion engines, and
+round-trips the graph through the .npz serialization.
+
+Run:  python examples/custom_graph.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    LACA,
+    AttributedGraph,
+    conductance,
+    wcss,
+)
+from repro.graphs.io import load_graph, save_graph
+
+
+def build_product_graph() -> AttributedGraph:
+    """A toy co-purchase network: 3 product categories, 30 products.
+
+    Edges mean "frequently bought together"; attributes are category
+    feature profiles with one deliberately mis-linked product per
+    category (the noisy co-purchases LACA is designed to survive).
+    """
+    rng = np.random.default_rng(8)
+    n_per_category, n_categories = 10, 3
+    n = n_per_category * n_categories
+    categories = np.repeat(np.arange(n_categories), n_per_category)
+
+    edges = []
+    for category in range(n_categories):
+        members = np.flatnonzero(categories == category)
+        # Dense in-category co-purchases.
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                if rng.random() < 0.5:
+                    edges.append((int(a), int(b)))
+        # A couple of cross-category "noise" purchases.
+        other = rng.choice(np.flatnonzero(categories != category), size=2)
+        edges.extend((int(members[0]), int(b)) for b in other)
+
+    profiles = np.eye(n_categories)
+    attributes = profiles[categories] + 0.3 * rng.random((n, n_categories))
+    return AttributedGraph.from_edges(
+        n, edges, attributes=attributes, communities=categories, name="products"
+    )
+
+
+def main() -> None:
+    graph = build_product_graph()
+    print(f"Built {graph!r}")
+
+    # --- Fit and query -------------------------------------------------
+    model = LACA(metric="exp_cosine", k=3, epsilon=1e-6).fit(graph)
+    seed = 0
+    cluster = model.cluster(seed, size=10)
+    print(f"\nLocal cluster around product {seed}: {list(cluster)}")
+    print(f"Conductance: {conductance(graph, cluster):.3f}")
+    print(f"Attribute variance (WCSS): {wcss(graph, cluster):.3f}")
+
+    # --- Diagnostics ---------------------------------------------------
+    result = model.scores(seed)
+    print(
+        f"\nDiffusion diagnostics: RWR step {result.rwr.iterations} iters "
+        f"({result.rwr.nongreedy_steps} non-greedy), BDD step "
+        f"{result.bdd.iterations} iters, explored {result.support_size} nodes"
+    )
+
+    # --- Swapping the diffusion engine ----------------------------------
+    for engine in ("adaptive", "greedy", "nongreedy", "push"):
+        engine_model = LACA(
+            metric="exp_cosine", k=3, epsilon=1e-6, diffusion=engine
+        ).fit(graph)
+        engine_cluster = engine_model.cluster(seed, size=10)
+        overlap = np.intersect1d(cluster, engine_cluster).shape[0]
+        print(f"  engine={engine:10s} overlap with adaptive: {overlap}/10")
+
+    # --- Serialization round trip ---------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_graph(graph, Path(tmp) / "products")
+        reloaded = load_graph(path)
+        print(
+            f"\nSaved + reloaded graph: n={reloaded.n}, m={reloaded.m}, "
+            f"attributes preserved: "
+            f"{np.allclose(reloaded.attributes, graph.attributes)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

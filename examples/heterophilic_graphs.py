@@ -1,0 +1,87 @@
+"""Heterophilic graphs — the paper's stated limitation and future work.
+
+Section VI-B notes a limitation of LACA "on graph datasets with
+high-quality attributes but substantial poor/corrupted structures, e.g.,
+heterophilic graphs", and the conclusion names local clustering on
+heterophilic graphs as future work.
+
+This example constructs a family of graphs sweeping the mixing parameter
+from homophilic (edges mostly inside communities) to strongly heterophilic
+(edges mostly *across* communities) while attributes stay informative, and
+measures LACA (C), the attribute-free ablation, and the attribute-only
+SimAttr.  Expected shape: diffusion-based methods (including LACA) decay
+as homophily vanishes — random walks stop correlating with community
+membership — while SimAttr is unaffected, eventually overtaking LACA.
+That crossover is exactly the regime the paper leaves open.
+
+Run:  python examples/heterophilic_graphs.py
+"""
+
+import numpy as np
+
+from repro import LACA, make_method, precision
+from repro.eval.reporting import format_series
+from repro.graphs.generators import SBMConfig, attributed_sbm
+
+
+def evaluate(graph, build, seeds) -> float:
+    method = build().fit(graph)
+    values = []
+    for seed in seeds:
+        truth = graph.ground_truth_cluster(int(seed))
+        values.append(precision(method.cluster(int(seed), truth.shape[0]), truth))
+    return float(np.mean(values))
+
+
+def main() -> None:
+    mixing_levels = [0.2, 0.4, 0.6, 0.8, 0.9]
+    series = {"LACA (C)": [], "LACA (w/o SNAS)": [], "SimAttr (C)": []}
+    rng = np.random.default_rng(0)
+
+    for mixing in mixing_levels:
+        config = SBMConfig(
+            n=1000,
+            n_communities=5,
+            avg_degree=12.0,
+            mixing=mixing,
+            d=64,
+            attribute_noise=0.8,
+            topic_overlap=0.2,
+        )
+        graph = attributed_sbm(config, seed=17, name=f"mix-{mixing}")
+        seeds = rng.choice(graph.n, size=10, replace=False)
+        series["LACA (C)"].append(
+            evaluate(graph, lambda: LACA(metric="cosine", alpha=0.9), seeds)
+        )
+        series["LACA (w/o SNAS)"].append(
+            evaluate(graph, lambda: LACA(use_snas=False, alpha=0.9), seeds)
+        )
+        series["SimAttr (C)"].append(
+            evaluate(graph, lambda: make_method("SimAttr (C)"), seeds)
+        )
+
+    print(
+        format_series(
+            "mixing (1 - homophily)",
+            mixing_levels,
+            series,
+            title="Precision from homophilic to heterophilic structure",
+            precision=3,
+        )
+    )
+
+    laca = np.array(series["LACA (C)"])
+    simattr = np.array(series["SimAttr (C)"])
+    crossover = np.flatnonzero(simattr > laca)
+    if crossover.size:
+        print(
+            f"\nSimAttr overtakes LACA at mixing ≈ {mixing_levels[crossover[0]]}: "
+            "the heterophilic regime the paper leaves as future work."
+        )
+    else:
+        print("\nLACA retains the lead across this sweep (attributes still "
+              "reach distant members through the diffusion).")
+
+
+if __name__ == "__main__":
+    main()

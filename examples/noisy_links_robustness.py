@@ -1,0 +1,82 @@
+"""Robustness to missing/noisy links — the paper's core motivation.
+
+The introduction argues that topology-only LGC collapses when graphs
+carry noisy or missing edges, while attributes provide a complementary
+signal.  This example sweeps the edge-rewiring fraction on an otherwise
+fixed attributed SBM and measures how LACA (C), LACA (w/o SNAS), and
+PR-Nibble degrade.
+
+Expected shape: all methods start comparable on the clean graph; as more
+edges are corrupted the topology-only methods fall off quickly while
+LACA (C) — anchored by the SNAS — degrades gracefully.
+
+Run:  python examples/noisy_links_robustness.py
+"""
+
+import numpy as np
+
+from repro import LACA, make_method, precision
+from repro.eval.reporting import format_series
+from repro.graphs.generators import SBMConfig, attributed_sbm
+
+
+def evaluate(graph, model_factory, seeds) -> float:
+    model = model_factory().fit(graph)
+    values = []
+    for seed in seeds:
+        truth = graph.ground_truth_cluster(int(seed))
+        cluster = model.cluster(int(seed), truth.shape[0])
+        values.append(precision(cluster, truth))
+    return float(np.mean(values))
+
+
+def main() -> None:
+    rewire_levels = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    series = {"LACA (C)": [], "LACA (w/o SNAS)": [], "PR-Nibble": []}
+    rng = np.random.default_rng(0)
+
+    for rewire in rewire_levels:
+        config = SBMConfig(
+            n=1200,
+            n_communities=6,
+            avg_degree=10.0,
+            mixing=0.25,
+            d=96,
+            attribute_noise=0.9,
+            topic_overlap=0.25,
+            rewire_fraction=rewire,
+        )
+        graph = attributed_sbm(config, seed=31, name=f"noisy-{rewire}")
+        seeds = rng.choice(graph.n, size=12, replace=False)
+        series["LACA (C)"].append(
+            evaluate(graph, lambda: LACA(metric="cosine", alpha=0.9), seeds)
+        )
+        series["LACA (w/o SNAS)"].append(
+            evaluate(graph, lambda: LACA(use_snas=False, alpha=0.9), seeds)
+        )
+        series["PR-Nibble"].append(
+            evaluate(graph, lambda: make_method("PR-Nibble"), seeds)
+        )
+
+    print(
+        format_series(
+            "rewired edges",
+            [f"{int(level * 100)}%" for level in rewire_levels],
+            series,
+            title="Precision as links are corrupted",
+            precision=3,
+        )
+    )
+
+    drop = {
+        name: values[0] - values[-1] for name, values in series.items()
+    }
+    print(
+        f"\nPrecision drop (clean → 50% rewired): "
+        + ", ".join(f"{name}: {value:.3f}" for name, value in drop.items())
+    )
+    print("Attributes anchor LACA (C); topology-only methods fall faster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim: legacy editable installs work offline (no wheel package)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Adaptive Local Clustering over Attributed Graphs' "
+        "(LACA, ICDE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

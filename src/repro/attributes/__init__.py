@@ -1,0 +1,19 @@
+"""Attribute machinery: SNAS metrics, randomized SVD, ORF, and the TNAM."""
+
+from .snas import METRIC_NAMES, kernel_matrix, snas_from_kernel, snas_matrix
+from .svd import randomized_svd, truncated_svd
+from .orf import orf_feature_map, orthogonal_random_projection
+from .tnam import TNAM, build_tnam
+
+__all__ = [
+    "METRIC_NAMES",
+    "kernel_matrix",
+    "snas_from_kernel",
+    "snas_matrix",
+    "randomized_svd",
+    "truncated_svd",
+    "orf_feature_map",
+    "orthogonal_random_projection",
+    "TNAM",
+    "build_tnam",
+]

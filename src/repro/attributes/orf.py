@@ -1,0 +1,67 @@
+"""Orthogonal random features (Yu et al., NeurIPS 2016) for Algo 3.
+
+The exponential cosine similarity ``f(vi, vj) = exp(x(i)·x(j)/δ)`` equals
+``exp(1/δ) · exp(-‖x(i)-x(j)‖²/(2δ))`` for unit-norm rows (Eq. 26 in the
+paper's appendix), i.e. a scaled Gaussian kernel.  Random Fourier features
+therefore give unbiased low-dimensional estimators; the *orthogonal*
+variant reduces variance by replacing the i.i.d. Gaussian projection with
+``Σ Q`` where ``Q`` is a uniformly random orthogonal matrix (QR of a
+Gaussian) and ``Σ`` is a diagonal of χ(k)-distributed row norms — exactly
+Lines 6-9 of Algo 3.
+
+Note on constants: the unbiased feature map uses projection scale
+``1/sqrt(δ)`` (the paper's pseudo-code writes ``1/δ``, which coincides at
+the default ``δ = 1``).  Any global constant on the feature map cancels in
+the SNAS normalization of Eq. (1), so this choice only affects the
+intermediate kernel estimate, which we test for unbiasedness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["orthogonal_random_projection", "orf_feature_map"]
+
+
+def orthogonal_random_projection(
+    dim: int, n_features: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample the ``dim × n_features`` ORF projection ``(Σ Q)ᵀ`` blocks.
+
+    Each ``dim × dim`` block is ``Qᵀ Σ`` with ``Q`` a Haar-random
+    orthogonal matrix and ``Σ`` diagonal χ(dim); blocks are stacked until
+    ``n_features`` columns exist (the standard construction when more
+    features than input dimensions are requested).
+    """
+    blocks = []
+    produced = 0
+    while produced < n_features:
+        gaussian = rng.normal(size=(dim, dim))
+        q, _ = np.linalg.qr(gaussian)
+        # chi(k) row norms make ΣQ distributed like a Gaussian matrix in
+        # row norms while keeping rows exactly orthogonal.
+        chi = np.sqrt(rng.chisquare(df=dim, size=dim))
+        blocks.append(q.T * chi[None, :])
+        produced += dim
+    return np.concatenate(blocks, axis=1)[:, :n_features]
+
+
+def orf_feature_map(
+    data: np.ndarray,
+    n_features: int,
+    delta: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Map rows of ``data`` to ORF features for ``exp(x·y/δ)``.
+
+    Returns an ``n × 2·n_features`` matrix ``Y`` with
+    ``E[y(i)·y(j)] = exp(x(i)·x(j)/δ)`` for unit-norm rows (Theorem V.2).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    data = np.asarray(data, dtype=np.float64)
+    dim = data.shape[1]
+    projection = orthogonal_random_projection(dim, n_features, rng)
+    projected = (data @ projection) / np.sqrt(delta)
+    scale = np.sqrt(np.exp(1.0 / delta) / n_features)
+    return scale * np.concatenate([np.sin(projected), np.cos(projected)], axis=1)

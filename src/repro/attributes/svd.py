@@ -1,0 +1,78 @@
+"""Randomized truncated SVD (Halko, Martinsson & Tropp, 2011).
+
+Algo 3 of the paper opens with a ``k``-truncated SVD of the attribute
+matrix ``X`` using the randomized technique of [34].  We implement the
+standard randomized range finder with power iterations from scratch —
+range sketch, QR orthonormalization, small dense SVD — so the whole
+pipeline is self-contained and works for dense and scipy-sparse inputs.
+
+Lemma V.1 of the paper bounds the spectral error of ``UΛ`` as a Gram
+factor: ``‖(UΛ)(UΛ)ᵀ − XXᵀ‖₂ ≤ λ_{k+1}²``; tests verify the analogous
+empirical behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["randomized_svd", "truncated_svd"]
+
+
+def _orthonormalize(matrix: np.ndarray) -> np.ndarray:
+    q, _ = np.linalg.qr(matrix)
+    return q
+
+
+def randomized_svd(
+    matrix,
+    k: int,
+    n_oversample: int = 8,
+    n_power_iterations: int = 7,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Top-``k`` singular triplets of ``matrix`` via randomized sketching.
+
+    Returns ``(U, sigma, Vt)`` with ``U: n×k``, ``sigma: k``, ``Vt: k×d``.
+    ``n_power_iterations`` defaults to 7, the constant the paper cites for
+    Lemma V.3's runtime analysis.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n, d = matrix.shape
+    k = int(min(k, n, d))
+    if k <= 0:
+        raise ValueError("k must be a positive integer")
+    sketch_size = min(k + n_oversample, min(n, d))
+
+    omega = rng.normal(size=(d, sketch_size))
+    sample = matrix @ omega
+    q = _orthonormalize(np.asarray(sample))
+    for _ in range(n_power_iterations):
+        q = _orthonormalize(np.asarray(matrix.T @ q))
+        q = _orthonormalize(np.asarray(matrix @ q))
+
+    small = np.asarray(q.T @ matrix)
+    u_small, sigma, vt = np.linalg.svd(small, full_matrices=False)
+    u = q @ u_small
+    return u[:, :k], sigma[:k], vt[:k]
+
+
+def truncated_svd(
+    matrix,
+    k: int,
+    exact_threshold: int = 400,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Top-``k`` SVD, exact for small matrices and randomized otherwise.
+
+    The exact branch keeps tests and tiny graphs bit-stable; the
+    randomized branch is the paper's O(ndk) path (Lemma V.3).
+    """
+    n, d = matrix.shape
+    if min(n, d) <= exact_threshold:
+        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+        u, sigma, vt = np.linalg.svd(dense, full_matrices=False)
+        k = int(min(k, sigma.shape[0]))
+        return u[:, :k], sigma[:k], vt[:k]
+    return randomized_svd(matrix, k, rng=rng)

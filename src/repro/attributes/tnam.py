@@ -1,0 +1,154 @@
+"""TNAM construction (Algo 3): factorizing the SNAS into short vectors.
+
+The transformed node attribute matrix ``Z ∈ R^{n×k'}`` satisfies
+``s(vi, vj) ≈ z(i) · z(j)`` (Eq. 10), which decouples the BDD computation
+(Section III-A).  The construction (Eq. 18) finds ``Y`` with
+``f(vi, vj) ≈ y(i)·y(j)`` — via k-SVD for the cosine metric, via
+orthogonal random features for the exponential cosine metric — and then
+normalizes ``z(i) = y(i) / sqrt(y(i) · y*)`` where ``y* = Σ_ℓ y(ℓ)``.
+
+For Table XI's alternative metrics (Jaccard / Pearson), no exact
+inner-product factorization exists, so we factorize the dense kernel
+itself with a truncated eigendecomposition — an O(n²) path only intended
+for the small graphs that appendix evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .orf import orf_feature_map
+from .snas import kernel_matrix
+from .svd import truncated_svd
+
+__all__ = ["TNAM", "build_tnam"]
+
+#: Guard for the normalization denominator y(i)·y*; see module docstring.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class TNAM:
+    """Transformed node attribute matrix with its provenance.
+
+    Attributes
+    ----------
+    z:
+        ``n × k'`` matrix whose row dot-products approximate the SNAS.
+        ``k' = k`` for the cosine metric and ``2k`` for exp-cosine (sin
+        and cos feature halves).
+    metric:
+        Metric function name used for ``f``.
+    k:
+        Requested rank / feature budget.
+    delta:
+        Sensitivity factor of the exponential cosine metric.
+    """
+
+    z: np.ndarray
+    metric: str
+    k: int
+    delta: float = 1.0
+
+    @property
+    def n(self) -> int:
+        return self.z.shape[0]
+
+    def snas(self, i: int, j: int) -> float:
+        """Approximate SNAS of one node pair: ``z(i) · z(j)`` (Eq. 10)."""
+        return float(self.z[i] @ self.z[j])
+
+    def snas_rows(self, support: np.ndarray) -> np.ndarray:
+        """Rows ``z(i)`` for nodes in ``support`` (a view-like slice)."""
+        return self.z[support]
+
+    def dense_snas(self) -> np.ndarray:
+        """Full approximate SNAS matrix ``Z Zᵀ`` — O(n²), tests only."""
+        return self.z @ self.z.T
+
+
+def _normalize_features(y: np.ndarray) -> np.ndarray:
+    """Eq. (18): ``z(i) = y(i) / sqrt(y(i) · y*)`` with ``y* = Σ y(ℓ)``.
+
+    ``y(i)·y*`` estimates ``Σ_ℓ f(vi, vℓ) > 0``; approximation error can
+    push individual values to ~0 or below, so they are clamped to a tiny
+    positive floor (the affected rows carry negligible SNAS mass anyway).
+    """
+    y_star = y.sum(axis=0)
+    denom = y @ y_star
+    denom = np.maximum(denom, _EPS)
+    return y / np.sqrt(denom)[:, None]
+
+
+def build_tnam(
+    attributes: np.ndarray,
+    k: int = 32,
+    metric: str = "cosine",
+    delta: float = 1.0,
+    rng: np.random.Generator | None = None,
+    use_svd: bool = True,
+) -> TNAM:
+    """Algo 3: construct the TNAM ``Z`` from the attribute matrix ``X``.
+
+    Parameters
+    ----------
+    attributes:
+        ``n × d`` L2-normalized attribute matrix.
+    k:
+        Target dimension of the TNAM vectors (paper default 32).
+    metric:
+        ``"cosine"`` or ``"exp_cosine"`` for the paper's two SNAS
+        instantiations, ``"jaccard"``/``"pearson"`` for the Table XI
+        alternatives (dense kernel factorization; small graphs only).
+    delta:
+        Sensitivity of the exponential cosine metric (typically 1 or 2).
+    use_svd:
+        When False, skips the k-SVD dimension reduction and uses the raw
+        attributes as ``Y``'s basis — the "w/o k-SVD" ablation of
+        Table VI.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    attributes = np.asarray(attributes, dtype=np.float64)
+    n, d = attributes.shape
+    k = int(min(k, max(n, 1), max(d, 1))) if use_svd else k
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    if metric == "cosine":
+        if use_svd:
+            u, sigma, _ = truncated_svd(attributes, k, rng=rng)
+            y = u * sigma[None, :]
+        else:
+            y = attributes.copy()
+    elif metric == "exp_cosine":
+        if use_svd:
+            u, sigma, _ = truncated_svd(attributes, k, rng=rng)
+            reduced = u * sigma[None, :]
+        else:
+            reduced = attributes
+        y = orf_feature_map(reduced, n_features=k, delta=delta, rng=rng)
+    elif metric in ("jaccard", "pearson"):
+        y = _factorize_kernel(attributes, k, metric, delta)
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    z = _normalize_features(y)
+    return TNAM(z=z, metric=metric, k=k, delta=delta)
+
+
+def _factorize_kernel(
+    attributes: np.ndarray, k: int, metric: str, delta: float
+) -> np.ndarray:
+    """PSD factorization ``K ≈ Y Yᵀ`` via truncated eigendecomposition.
+
+    Used for metrics that are not inner products of any explicit feature
+    map.  O(n²) — acceptable for the appendix's small-graph comparison.
+    """
+    kernel = kernel_matrix(attributes, metric=metric, delta=delta)
+    eigenvalues, eigenvectors = np.linalg.eigh(kernel)
+    order = np.argsort(eigenvalues)[::-1][:k]
+    top_values = np.clip(eigenvalues[order], 0.0, None)
+    return eigenvectors[:, order] * np.sqrt(top_values)[None, :]

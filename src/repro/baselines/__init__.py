@@ -1,0 +1,50 @@
+"""The 17 competitor methods of the paper's evaluation (Table IV)."""
+
+from .base import LocalClusteringMethod
+from .pr_nibble import APRNibble, PRNibble
+from .hk_relax import HKRelax, heat_kernel_scores
+from .crd import CapacityReleasingDiffusion, crd_mass
+from .flow import PNormFlowDiffusion, WeightedFlowDiffusion, flow_diffusion_potentials
+from .link_similarity import AdamicAdar, CommonNeighbors, JaccardSimilarity, SimRank
+from .attr_similarity import AttriRank, SimAttr
+from .embedding import (
+    EXTRACTION_MODES,
+    Cfane,
+    EmbeddingMethod,
+    Node2Vec,
+    Pane,
+    Sage,
+)
+from .weighted import gaussian_edge_weights, weighted_push
+from .registry import METHOD_FACTORIES, make_method, method_names, methods_in_category
+
+__all__ = [
+    "LocalClusteringMethod",
+    "APRNibble",
+    "PRNibble",
+    "HKRelax",
+    "heat_kernel_scores",
+    "CapacityReleasingDiffusion",
+    "crd_mass",
+    "PNormFlowDiffusion",
+    "WeightedFlowDiffusion",
+    "flow_diffusion_potentials",
+    "AdamicAdar",
+    "CommonNeighbors",
+    "JaccardSimilarity",
+    "SimRank",
+    "AttriRank",
+    "SimAttr",
+    "EXTRACTION_MODES",
+    "Cfane",
+    "EmbeddingMethod",
+    "Node2Vec",
+    "Pane",
+    "Sage",
+    "gaussian_edge_weights",
+    "weighted_push",
+    "METHOD_FACTORIES",
+    "make_method",
+    "method_names",
+    "methods_in_category",
+]

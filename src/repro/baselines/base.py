@@ -1,0 +1,66 @@
+"""Common interface for all local-clustering methods under evaluation.
+
+The paper's protocol (Section VI-A) is uniform: every method produces a
+score for each node w.r.t. the seed; the predicted local cluster is the
+top-``|Ys|`` nodes.  :class:`LocalClusteringMethod` captures that protocol
+— a ``fit`` preprocessing stage (timed separately, as in Fig. 7) and a
+per-seed ``score_vector``.  Methods whose extraction is not a ranking
+(e.g. DBSCAN over embeddings) override :meth:`cluster` instead.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.laca import top_k_cluster
+from ..graphs.graph import AttributedGraph
+
+__all__ = ["LocalClusteringMethod"]
+
+
+class LocalClusteringMethod(abc.ABC):
+    """Base class: fit once per graph, query many seeds."""
+
+    #: Display name used in tables (subclasses override).
+    name: str = "method"
+    #: One of: "lgc", "link", "attr", "embedding", "ours".
+    category: str = "lgc"
+    #: Whether the method can run on graphs without attributes.
+    supports_non_attributed: bool = True
+    #: Whether the method *requires* attributes to be meaningful.
+    requires_attributes: bool = False
+
+    def __init__(self) -> None:
+        self.graph: AttributedGraph | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, graph: AttributedGraph) -> "LocalClusteringMethod":
+        """Preprocessing stage; default records the graph only."""
+        if self.requires_attributes and graph.attributes is None:
+            raise ValueError(f"{self.name} requires node attributes")
+        self.graph = graph
+        self._fit(graph)
+        return self
+
+    def _fit(self, graph: AttributedGraph) -> None:
+        """Subclass hook for preprocessing work."""
+
+    def _require_fit(self) -> AttributedGraph:
+        if self.graph is None:
+            raise RuntimeError(f"{self.name}: call fit(graph) before querying")
+        return self.graph
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def score_vector(self, seed: int) -> np.ndarray:
+        """Length-n affinity scores of every node w.r.t. ``seed``."""
+
+    def cluster(self, seed: int, size: int) -> np.ndarray:
+        """Predicted local cluster of ``size`` nodes around ``seed``."""
+        scores = self.score_vector(seed)
+        return top_k_cluster(scores, size, seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

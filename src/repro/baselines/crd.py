@@ -1,0 +1,126 @@
+"""Capacity Releasing Diffusion (Wang et al., ICML 2017) — simplified.
+
+CRD spreads *mass* (not probability) from the seed: every round the mass
+held at already-reached nodes is doubled and a Unit-Flow push-relabel
+procedure routes the excess (mass above a node's degree) outward subject
+to an edge capacity ``U`` per round and a level budget ``h``.  The
+diffusion stops once enough volume has been wet or too much mass leaks.
+
+This implementation keeps the algorithm's defining mechanics — doubling,
+push-relabel with labels, per-round edge capacities — with simplified
+termination bookkeeping.  Nodes are ranked by final mass / degree, the
+quantity CRD's sweep cut orders by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import AttributedGraph
+from .base import LocalClusteringMethod
+
+__all__ = ["CapacityReleasingDiffusion", "crd_mass"]
+
+
+def _unit_flow(
+    graph: AttributedGraph,
+    mass: np.ndarray,
+    capacity: float,
+    height_budget: int,
+) -> np.ndarray:
+    """One Unit-Flow routing pass (push-relabel with bounded labels)."""
+    degrees = graph.degrees
+    adjacency = graph.adjacency
+    indptr, indices = adjacency.indptr, adjacency.indices
+    labels = np.zeros(graph.n, dtype=np.int64)
+    # Per-round residual edge capacities, keyed by CSR data positions.
+    residual = np.full(adjacency.nnz, capacity)
+
+    active = [int(v) for v in np.flatnonzero(mass > degrees)]
+    guard = 0
+    max_operations = 50 * graph.n + 20 * adjacency.nnz
+    while active:
+        guard += 1
+        if guard > max_operations:
+            break
+        node = active.pop()
+        excess = mass[node] - degrees[node]
+        if excess <= 1e-12 or labels[node] >= height_budget:
+            continue
+        pushed_any = False
+        lo, hi = indptr[node], indptr[node + 1]
+        for position in range(lo, hi):
+            neighbor = int(indices[position])
+            if labels[neighbor] >= labels[node]:
+                continue
+            room = min(residual[position], 2.0 * degrees[neighbor] - mass[neighbor])
+            amount = min(excess, room)
+            if amount <= 1e-12:
+                continue
+            mass[node] -= amount
+            mass[neighbor] += amount
+            residual[position] -= amount
+            excess -= amount
+            pushed_any = True
+            if mass[neighbor] > degrees[neighbor]:
+                active.append(neighbor)
+            if excess <= 1e-12:
+                break
+        if excess > 1e-12:
+            if pushed_any:
+                active.append(node)
+            elif labels[node] + 1 < height_budget:
+                labels[node] += 1
+                active.append(node)
+            # else: node is saturated at the top label; excess stays put.
+    return mass
+
+
+def crd_mass(
+    graph: AttributedGraph,
+    seed: int,
+    target_volume: float,
+    capacity: float = 4.0,
+    height_budget: int | None = None,
+    max_rounds: int = 30,
+) -> np.ndarray:
+    """Run CRD until the wet volume reaches ``target_volume``."""
+    if height_budget is None:
+        height_budget = max(3, int(np.ceil(np.log2(graph.n))))
+    mass = np.zeros(graph.n)
+    mass[seed] = graph.degrees[seed]
+    for _ in range(max_rounds):
+        mass *= 2.0
+        mass = _unit_flow(graph, mass, capacity, height_budget)
+        wet = mass > 0
+        if float(graph.degrees[wet].sum()) >= target_volume:
+            break
+    return mass
+
+
+class CapacityReleasingDiffusion(LocalClusteringMethod):
+    """CRD ranking by final mass / degree."""
+
+    name = "CRD"
+    category = "lgc"
+
+    def __init__(self, capacity: float = 4.0, volume_factor: float = 2.0) -> None:
+        super().__init__()
+        self.capacity = capacity
+        self.volume_factor = volume_factor
+
+    def _scores(self, seed: int, size_hint: int | None) -> np.ndarray:
+        graph = self._require_fit()
+        average_degree = graph.volume() / graph.n
+        size = size_hint if size_hint is not None else max(10, graph.n // 50)
+        target_volume = self.volume_factor * average_degree * size
+        mass = crd_mass(graph, seed, target_volume, capacity=self.capacity)
+        return mass / graph.degrees
+
+    def score_vector(self, seed: int) -> np.ndarray:
+        return self._scores(seed, size_hint=None)
+
+    def cluster(self, seed: int, size: int) -> np.ndarray:
+        from ..core.laca import top_k_cluster
+
+        return top_k_cluster(self._scores(seed, size_hint=size), size, seed)

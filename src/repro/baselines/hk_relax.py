@@ -1,0 +1,70 @@
+"""HK-Relax: heat-kernel PageRank local clustering (Kloster & Gleich, KDD 2014).
+
+The heat-kernel diffusion ``h = e^{-t} Σ_ℓ (tℓ/ℓ!) (Pᵀ)ℓ e_s`` weights
+walk lengths by a Poisson(t) distribution instead of RWR's geometric one.
+HK-Relax approximates it with a residual/push scheme over the Taylor
+expansion; we implement the same truncated-Taylor computation with sparse
+mat-vecs, truncating when the Poisson tail drops below the work tolerance
+(the accuracy knob the original exposes via ε).  Nodes are ranked by the
+degree-normalized heat-kernel score, as in the original sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.graph import AttributedGraph
+from .base import LocalClusteringMethod
+
+__all__ = ["HKRelax", "heat_kernel_scores"]
+
+
+def _taylor_terms(t: float, epsilon: float, max_terms: int = 200) -> int:
+    """Smallest N with Poisson(t) tail mass below ε (HK-Relax's choice)."""
+    tail = 1.0
+    term = math.exp(-t)
+    total = term
+    for length in range(1, max_terms):
+        term *= t / length
+        total += term
+        tail = 1.0 - total
+        if tail < epsilon:
+            return length
+    return max_terms
+
+
+def heat_kernel_scores(
+    graph: AttributedGraph, seed: int, t: float = 5.0, epsilon: float = 1e-4
+) -> np.ndarray:
+    """Truncated-Taylor heat-kernel diffusion from ``seed``."""
+    n_terms = _taylor_terms(t, epsilon)
+    vector = np.zeros(graph.n)
+    vector[seed] = 1.0
+    accumulated = vector * math.exp(-t)
+    coefficient = math.exp(-t)
+    for length in range(1, n_terms + 1):
+        vector = graph.apply_transition(vector)
+        coefficient *= t / length
+        accumulated += coefficient * vector
+        if coefficient < epsilon / max(n_terms, 1):
+            break
+    return accumulated
+
+
+class HKRelax(LocalClusteringMethod):
+    """Heat-kernel PageRank ranking, degree-normalized."""
+
+    name = "HK-Relax"
+    category = "lgc"
+
+    def __init__(self, t: float = 5.0, epsilon: float = 1e-4) -> None:
+        super().__init__()
+        self.t = t
+        self.epsilon = epsilon
+
+    def score_vector(self, seed: int) -> np.ndarray:
+        graph = self._require_fit()
+        scores = heat_kernel_scores(graph, seed, t=self.t, epsilon=self.epsilon)
+        return scores / graph.degrees

@@ -1,0 +1,77 @@
+"""PR-Nibble and APR-Nibble (Andersen, Chung & Lang, FOCS 2006).
+
+PR-Nibble ranks nodes by degree-normalized approximate personalized
+PageRank computed with a local push procedure.  APR-Nibble is the paper's
+attribute-aware variant: edges are re-weighted by the Gaussian kernel of
+their endpoints' attribute vectors before pushing (Section VI-A:
+"APR-Nibble is a variant of PR-Nibble wherein edges are weighted by the
+Gaussian kernel of their endpoints' attribute vectors").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..diffusion.push import push_diffuse
+from ..graphs.graph import AttributedGraph
+from .base import LocalClusteringMethod
+from .weighted import gaussian_edge_weights, weighted_push
+
+__all__ = ["PRNibble", "APRNibble"]
+
+
+class PRNibble(LocalClusteringMethod):
+    """Degree-normalized approximate PPR ranking (local push)."""
+
+    name = "PR-Nibble"
+    category = "lgc"
+
+    def __init__(self, alpha: float = 0.8, epsilon: float = 1e-6) -> None:
+        super().__init__()
+        self.alpha = alpha
+        self.epsilon = epsilon
+
+    def score_vector(self, seed: int) -> np.ndarray:
+        graph = self._require_fit()
+        one_hot = np.zeros(graph.n)
+        one_hot[seed] = 1.0
+        result = push_diffuse(
+            graph, one_hot, alpha=self.alpha, epsilon=self.epsilon
+        )
+        scores = result.q.copy()
+        support = np.flatnonzero(scores)
+        scores[support] /= graph.degrees[support]
+        return scores
+
+
+class APRNibble(LocalClusteringMethod):
+    """PR-Nibble on the attribute-reweighted (Gaussian kernel) graph."""
+
+    name = "APR-Nibble"
+    category = "lgc"
+    requires_attributes = True
+    supports_non_attributed = False
+
+    def __init__(
+        self, alpha: float = 0.8, epsilon: float = 1e-6, bandwidth: float = 1.0
+    ) -> None:
+        super().__init__()
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.bandwidth = bandwidth
+        self._weighted: sp.csr_matrix | None = None
+        self._weighted_degrees: np.ndarray | None = None
+
+    def _fit(self, graph: AttributedGraph) -> None:
+        # O(m·d) preprocessing, matching Table IV's cost row.
+        self._weighted = gaussian_edge_weights(graph, self.bandwidth)
+        self._weighted_degrees = np.asarray(self._weighted.sum(axis=1)).ravel()
+
+    def score_vector(self, seed: int) -> np.ndarray:
+        self._require_fit()
+        scores = weighted_push(
+            self._weighted, seed, alpha=self.alpha, epsilon=self.epsilon
+        )
+        degrees = np.where(self._weighted_degrees > 0, self._weighted_degrees, 1.0)
+        return scores / degrees

@@ -1,0 +1,85 @@
+"""Weighted-graph utilities shared by attribute-reweighting baselines.
+
+APR-Nibble and WFD follow the strategy the paper's introduction critiques:
+re-weight each edge by the attribute similarity of its endpoints (via a
+Gaussian kernel) and run a topology-only algorithm on the weighted graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.graph import AttributedGraph
+
+__all__ = ["gaussian_edge_weights", "weighted_push"]
+
+
+def gaussian_edge_weights(
+    graph: AttributedGraph, bandwidth: float = 1.0
+) -> sp.csr_matrix:
+    """Adjacency re-weighted by ``exp(-‖x(u) - x(v)‖² / (2·bandwidth²))``.
+
+    On non-attributed graphs the weights are all 1 (the plain adjacency).
+    """
+    adj = graph.adjacency.tocoo()
+    if graph.attributes is None:
+        return graph.adjacency.copy()
+    diffs = graph.attributes[adj.row] - graph.attributes[adj.col]
+    squared = np.sum(diffs * diffs, axis=1)
+    weights = np.exp(-squared / (2.0 * bandwidth * bandwidth))
+    weighted = sp.csr_matrix((weights, (adj.row, adj.col)), shape=adj.shape)
+    return weighted
+
+
+def weighted_push(
+    weighted_adj: sp.csr_matrix,
+    seed: int,
+    alpha: float = 0.8,
+    epsilon: float = 1e-6,
+    max_pushes: int = 20_000_000,
+) -> np.ndarray:
+    """Approximate personalized PageRank on a weighted graph via push.
+
+    Same residual scheme as :func:`repro.diffusion.push.push_diffuse` but
+    mass splits proportionally to edge weights and thresholds use the
+    weighted degree.
+    """
+    n = weighted_adj.shape[0]
+    weighted_adj = sp.csr_matrix(weighted_adj)
+    degrees = np.asarray(weighted_adj.sum(axis=1)).ravel()
+    degrees = np.where(degrees > 0, degrees, 1.0)
+    indptr, indices, data = (
+        weighted_adj.indptr,
+        weighted_adj.indices,
+        weighted_adj.data,
+    )
+    r = np.zeros(n)
+    q = np.zeros(n)
+    r[seed] = 1.0
+    queue: deque[int] = deque([seed])
+    in_queue = np.zeros(n, dtype=bool)
+    in_queue[seed] = True
+    pushes = 0
+
+    while queue:
+        if pushes >= max_pushes:
+            raise RuntimeError("weighted push exceeded the push budget")
+        node = queue.popleft()
+        in_queue[node] = False
+        residual = r[node]
+        if residual < epsilon * degrees[node]:
+            continue
+        pushes += 1
+        r[node] = 0.0
+        q[node] += (1.0 - alpha) * residual
+        lo, hi = indptr[node], indptr[node + 1]
+        shares = alpha * residual * data[lo:hi] / degrees[node]
+        for offset, neighbor in enumerate(indices[lo:hi]):
+            r[neighbor] += shares[offset]
+            if not in_queue[neighbor] and r[neighbor] >= epsilon * degrees[neighbor]:
+                queue.append(int(neighbor))
+                in_queue[neighbor] = True
+    return q

@@ -1,0 +1,112 @@
+"""Command-line interface: cluster around a seed from the shell.
+
+Examples
+--------
+List datasets and methods::
+
+    python -m repro datasets
+    python -m repro methods
+
+Cluster with LACA on a registered dataset::
+
+    python -m repro cluster --dataset cora --seed 42
+    python -m repro cluster --dataset yelp --seed 7 --method "SimAttr (C)"
+
+Cluster on your own saved graph (see ``repro.graphs.io``)::
+
+    python -m repro cluster --graph mygraph.npz --seed 0 --size 50
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .baselines.registry import make_method, method_names
+from .eval.metrics import conductance, precision, recall
+from .graphs.datasets import dataset_names, dataset_statistics, load_dataset
+from .graphs.io import load_graph
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(_args) -> int:
+    from .eval.reporting import format_table
+
+    print(format_table(dataset_statistics(), title="Registered datasets"))
+    return 0
+
+
+def _cmd_methods(_args) -> int:
+    for name in method_names():
+        method = make_method(name)
+        print(f"{name:22s} [{method.category}]")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    if args.graph:
+        graph = load_graph(args.graph)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        raise SystemExit("provide --dataset <name> or --graph <path.npz>")
+
+    size = args.size
+    truth = None
+    if size is None:
+        if graph.communities is None:
+            raise SystemExit("--size is required for graphs without ground truth")
+        truth = graph.ground_truth_cluster(args.seed)
+        size = truth.shape[0]
+    elif graph.communities is not None:
+        truth = graph.ground_truth_cluster(args.seed)
+
+    method = make_method(args.method).fit(graph)
+    cluster = method.cluster(args.seed, size)
+
+    print(f"graph: {graph.name} (n={graph.n}, m={graph.m}, d={graph.d})")
+    print(f"method: {args.method}, seed: {args.seed}, cluster size: {size}")
+    print(f"conductance: {conductance(graph, cluster):.4f}")
+    if truth is not None:
+        print(f"precision: {precision(cluster, truth):.4f}")
+        print(f"recall:    {recall(cluster, truth):.4f}")
+    shown = ", ".join(str(int(node)) for node in cluster[: args.show])
+    suffix = " ..." if cluster.shape[0] > args.show else ""
+    print(f"members: {shown}{suffix}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="LACA local clustering CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list registered datasets")
+    commands.add_parser("methods", help="list available methods")
+
+    cluster = commands.add_parser("cluster", help="cluster around a seed")
+    cluster.add_argument("--dataset", choices=dataset_names(), default=None)
+    cluster.add_argument("--graph", default=None, help="path to a saved .npz graph")
+    cluster.add_argument("--scale", type=float, default=1.0)
+    cluster.add_argument("--seed", type=int, required=True)
+    cluster.add_argument("--size", type=int, default=None)
+    cluster.add_argument("--method", default="LACA (C)", choices=method_names())
+    cluster.add_argument("--show", type=int, default=20, help="members to print")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "methods": _cmd_methods,
+        "cluster": _cmd_cluster,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0

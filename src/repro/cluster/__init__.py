@@ -1,0 +1,15 @@
+"""Clustering substrate: k-means, spectral clustering, DBSCAN (no sklearn)."""
+
+from .kmeans import kmeans, kmeans_plus_plus
+from .spectral import knn_affinity, spectral_clustering
+from .dbscan import NOISE, dbscan, estimate_eps
+
+__all__ = [
+    "kmeans",
+    "kmeans_plus_plus",
+    "knn_affinity",
+    "spectral_clustering",
+    "NOISE",
+    "dbscan",
+    "estimate_eps",
+]

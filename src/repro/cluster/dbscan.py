@@ -1,0 +1,80 @@
+"""DBSCAN (Ester et al., 1996) over a point set.
+
+Used by the embedding baselines' DBSCAN extraction.  The neighbor search
+is a dense radius query — adequate for the few-thousand-point embedding
+sets the paper's DBSCAN variants operate on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["dbscan", "estimate_eps"]
+
+NOISE = -1
+
+
+def _radius_neighbors(points: np.ndarray, eps: float) -> list[np.ndarray]:
+    squared = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ points.T
+        + np.sum(points**2, axis=1)[None, :]
+    )
+    np.maximum(squared, 0.0, out=squared)
+    within = squared <= eps * eps
+    np.fill_diagonal(within, False)
+    return [np.flatnonzero(row) for row in within]
+
+
+def estimate_eps(points: np.ndarray, min_samples: int = 5) -> float:
+    """Median distance to the ``min_samples``-th neighbor — the standard
+    knee heuristic for picking DBSCAN's radius."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    k = min(min_samples, n - 1)
+    squared = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ points.T
+        + np.sum(points**2, axis=1)[None, :]
+    )
+    np.maximum(squared, 0.0, out=squared)
+    np.fill_diagonal(squared, np.inf)
+    kth = np.sort(squared, axis=1)[:, k - 1]
+    return float(np.sqrt(np.median(kth)))
+
+
+def dbscan(
+    points: np.ndarray, eps: float | None = None, min_samples: int = 5
+) -> np.ndarray:
+    """Density-based clustering; returns labels with ``-1`` for noise."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if eps is None:
+        eps = estimate_eps(points, min_samples)
+    neighbors = _radius_neighbors(points, eps)
+    labels = np.full(n, NOISE, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    cluster = 0
+
+    for start in range(n):
+        if visited[start]:
+            continue
+        visited[start] = True
+        if neighbors[start].shape[0] + 1 < min_samples:
+            continue
+        labels[start] = cluster
+        queue = deque(int(i) for i in neighbors[start])
+        while queue:
+            node = queue.popleft()
+            if labels[node] == NOISE:
+                labels[node] = cluster
+            if visited[node]:
+                continue
+            visited[node] = True
+            labels[node] = cluster
+            if neighbors[node].shape[0] + 1 >= min_samples:
+                queue.extend(int(i) for i in neighbors[node])
+        cluster += 1
+    return labels

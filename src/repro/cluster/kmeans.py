@@ -1,0 +1,82 @@
+"""k-means (Lloyd's algorithm with k-means++ seeding).
+
+A self-contained substrate used by the spectral-clustering extraction of
+the embedding baselines (the paper runs K-NN / SC / DBSCAN on embedding
+vectors; scikit-learn is not available offline, so we implement the three
+from scratch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "kmeans_plus_plus"]
+
+
+def kmeans_plus_plus(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initial centers (Arthur & Vassilvitskii, 2007)."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = points[first]
+    squared = np.sum((points - centers[0]) ** 2, axis=1)
+    for idx in range(1, k):
+        total = squared.sum()
+        if total <= 0.0:
+            centers[idx:] = points[rng.integers(0, n, size=k - idx)]
+            break
+        probabilities = squared / total
+        choice = int(rng.choice(n, p=probabilities))
+        centers[idx] = points[choice]
+        squared = np.minimum(
+            squared, np.sum((points - centers[idx]) ** 2, axis=1)
+        )
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``points`` into ``k`` groups.
+
+    Returns ``(labels, centers)``.  Empty clusters are re-seeded with the
+    point farthest from its center, so exactly ``k`` clusters survive.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    centers = kmeans_plus_plus(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+
+    for _ in range(max_iterations):
+        # Squared distances via the expansion ‖p‖² − 2 p·c + ‖c‖².
+        cross = points @ centers.T
+        distances = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * cross
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        labels = np.argmin(distances, axis=1)
+        new_centers = np.empty_like(centers)
+        moved = 0.0
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if members.shape[0] == 0:
+                farthest = int(np.argmax(np.min(distances, axis=1)))
+                new_centers[cluster] = points[farthest]
+            else:
+                new_centers[cluster] = members.mean(axis=0)
+            moved += float(np.sum((new_centers[cluster] - centers[cluster]) ** 2))
+        centers = new_centers
+        if moved < tolerance:
+            break
+    return labels, centers

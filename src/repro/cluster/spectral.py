@@ -1,0 +1,72 @@
+"""Spectral clustering over a point set (for embedding extraction).
+
+Builds a symmetric k-nearest-neighbor affinity graph over the embedding
+vectors, takes the bottom eigenvectors of its normalized Laplacian, and
+k-means clusters the spectral embedding — the textbook Ng-Jordan-Weiss
+pipeline, sized for the few-thousand-node graphs where the paper applies
+SC-based extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .kmeans import kmeans
+
+__all__ = ["spectral_clustering", "knn_affinity"]
+
+
+def knn_affinity(points: np.ndarray, n_neighbors: int = 10) -> sp.csr_matrix:
+    """Symmetric binary kNN affinity over rows of ``points`` (dense math)."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    n_neighbors = min(n_neighbors, n - 1)
+    distances = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ points.T
+        + np.sum(points**2, axis=1)[None, :]
+    )
+    np.fill_diagonal(distances, np.inf)
+    neighbor_idx = np.argpartition(distances, n_neighbors, axis=1)[:, :n_neighbors]
+    rows = np.repeat(np.arange(n), n_neighbors)
+    cols = neighbor_idx.ravel()
+    affinity = sp.csr_matrix(
+        (np.ones(rows.shape[0]), (rows, cols)), shape=(n, n)
+    )
+    affinity = affinity.maximum(affinity.T)
+    return affinity
+
+
+def spectral_clustering(
+    points: np.ndarray,
+    k: int,
+    n_neighbors: int = 10,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Cluster rows of ``points`` into ``k`` groups spectrally."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    affinity = knn_affinity(points, n_neighbors=n_neighbors)
+    degrees = np.asarray(affinity.sum(axis=1)).ravel()
+    degrees = np.where(degrees > 0, degrees, 1.0)
+    inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
+    laplacian = sp.eye(points.shape[0]) - inv_sqrt @ affinity @ inv_sqrt
+    n_components = min(k, points.shape[0] - 2)
+    try:
+        _, eigenvectors = spla.eigsh(
+            laplacian.tocsc(), k=n_components, sigma=0.0, which="LM"
+        )
+    except Exception:
+        # Shift-invert can fail on disconnected affinity graphs; fall back
+        # to the dense eigensolver (points sets here are small).
+        dense = laplacian.toarray()
+        _, vectors = np.linalg.eigh(dense)
+        eigenvectors = vectors[:, :n_components]
+    # Row-normalize the spectral embedding (NJW step).
+    norms = np.linalg.norm(eigenvectors, axis=1)
+    norms = np.where(norms > 0, norms, 1.0)
+    embedding = eigenvectors / norms[:, None]
+    labels, _ = kmeans(embedding, k, rng=rng)
+    return labels

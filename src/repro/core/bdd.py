@@ -1,0 +1,121 @@
+"""Bidirectional Diffusion Distribution (BDD) — exact reference forms.
+
+Eq. (5):  ρ_t = Σ_{i,j} π(vs, vi) · s(vi, vj) · π(vt, vj)
+
+These dense computations cost up to O(n³) and exist to (i) validate LACA's
+approximation guarantee (Theorem V.4) on small graphs and (ii) reproduce
+Appendix C.1's comparison against four alternative formulations that
+modulate *edge transitions* by attribute similarity (RS-RS-RS, R-RS-RS,
+RS-R-RS, RS-RS-R), which the paper shows are markedly worse than BDD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attributes.snas import snas_matrix
+from ..diffusion.exact import rwr_matrix
+from ..graphs.graph import AttributedGraph
+
+__all__ = [
+    "exact_bdd",
+    "exact_bdd_via_transform",
+    "alternative_bdd",
+    "ALTERNATIVE_VARIANTS",
+]
+
+ALTERNATIVE_VARIANTS = ("RS-RS-RS", "R-RS-RS", "RS-R-RS", "RS-RS-R")
+
+
+def _snas_or_identity(
+    graph: AttributedGraph, metric: str, delta: float
+) -> np.ndarray:
+    """SNAS matrix, or the identity on non-attributed graphs (Remark §II-C)."""
+    if graph.attributes is None:
+        return np.eye(graph.n)
+    return snas_matrix(graph.attributes, metric=metric, delta=delta)
+
+
+def exact_bdd(
+    graph: AttributedGraph,
+    seed: int,
+    alpha: float = 0.8,
+    metric: str = "cosine",
+    delta: float = 1.0,
+    snas: np.ndarray | None = None,
+    rwr: np.ndarray | None = None,
+) -> np.ndarray:
+    """Literal Eq. (5): ``ρ_t = Σ_{i,j} π(s,i) s(i,j) π(t,j)``.
+
+    ``snas``/``rwr`` may be supplied to amortize the dense matrices over
+    many seeds.
+    """
+    if rwr is None:
+        rwr = rwr_matrix(graph, alpha)
+    if snas is None:
+        snas = _snas_or_identity(graph, metric, delta)
+    weighted = snas @ rwr[seed]
+    return rwr @ weighted
+
+
+def exact_bdd_via_transform(
+    graph: AttributedGraph,
+    seed: int,
+    alpha: float = 0.8,
+    metric: str = "cosine",
+    delta: float = 1.0,
+) -> np.ndarray:
+    """Eq. (8): ``ρ_t = (1/d_t) Σ_i φ_i π(vi, vt)`` with φ from Eq. (9).
+
+    Uses the RWR symmetry ``π(vt,vj)·d(vt) = π(vj,vt)·d(vj)`` — equality
+    with :func:`exact_bdd` is the correctness test of the paper's problem
+    transformation (Section III-A).
+    """
+    rwr = rwr_matrix(graph, alpha)
+    snas = _snas_or_identity(graph, metric, delta)
+    degrees = graph.degrees
+    phi = (rwr[seed] @ snas) * degrees  # Eq. (9)
+    return (rwr.T @ phi) / degrees  # Eq. (8): diffuse φ then divide by d(vt)
+
+
+def _edge_modulated_walk(
+    graph: AttributedGraph, rwr: np.ndarray, snas: np.ndarray
+) -> np.ndarray:
+    """Appendix C.1's ``ρ(vi,vj)``: RWR × SNAS on edges, 1 on the diagonal."""
+    adjacency = graph.adjacency.toarray()
+    modulated = rwr * snas * adjacency
+    np.fill_diagonal(modulated, 1.0)
+    return modulated
+
+
+def alternative_bdd(
+    graph: AttributedGraph,
+    seed: int,
+    variant: str,
+    alpha: float = 0.8,
+    metric: str = "cosine",
+    delta: float = 1.0,
+    snas: np.ndarray | None = None,
+    rwr: np.ndarray | None = None,
+) -> np.ndarray:
+    """One of Appendix C.1's four alternative affinity formulations.
+
+    Writing ``R`` for the edge-modulated walk matrix and ``Π`` for RWR,
+    the affinity of (vs, vt) is ``Σ_{i,j} A_s,i · B_i,j · C_t,j`` where
+    each of A/B/C is ``R`` ("RS") or ``Π`` ("R") per the variant name.
+    """
+    if variant not in ALTERNATIVE_VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; options: {ALTERNATIVE_VARIANTS}"
+        )
+    if rwr is None:
+        rwr = rwr_matrix(graph, alpha)
+    if snas is None:
+        snas = _snas_or_identity(graph, metric, delta)
+    modulated = _edge_modulated_walk(graph, rwr, snas)
+    first, second, third = variant.split("-")
+    a = modulated if first == "RS" else rwr
+    b = modulated if second == "RS" else rwr
+    c = modulated if third == "RS" else rwr
+    middle = a[seed] @ b  # row vector over j
+    return c @ middle

@@ -1,0 +1,107 @@
+"""Sweep-cut cluster extraction.
+
+The paper's evaluation fixes ``|Cs| = |Ys|``, but classical local
+clustering (Nibble, PR-Nibble, HK-Relax) extracts the cluster with a
+*sweep cut*: order nodes by degree-normalized score, scan prefixes, and
+return the prefix with the lowest conductance.  This module provides that
+extraction for any score vector — useful when the target size is unknown
+— with the standard O(vol(support)) incremental cut computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import AttributedGraph
+
+__all__ = ["SweepResult", "sweep_cut"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Best-prefix sweep outcome.
+
+    Attributes
+    ----------
+    cluster:
+        Node indices of the best prefix (sorted).
+    conductance:
+        Its conductance.
+    profile:
+        Conductance of every scanned prefix (the sweep profile, useful
+        for plotting and for picking alternative local minima).
+    order:
+        The scanned node order (by decreasing normalized score).
+    """
+
+    cluster: np.ndarray
+    conductance: float
+    profile: np.ndarray
+    order: np.ndarray
+
+
+def sweep_cut(
+    graph: AttributedGraph,
+    scores: np.ndarray,
+    normalize_by_degree: bool = False,
+    max_prefix: int | None = None,
+    min_size: int = 1,
+) -> SweepResult:
+    """Find the minimum-conductance prefix of the score ordering.
+
+    Parameters
+    ----------
+    graph:
+        The graph the scores live on.
+    scores:
+        Length-n non-negative score vector; only its support is scanned.
+    normalize_by_degree:
+        Divide scores by degree before ordering (use True for raw PPR
+        mass; LACA's ρ′ and PR-Nibble's ranking are already normalized).
+    max_prefix:
+        Scan at most this many nodes (defaults to the full support).
+    min_size:
+        Ignore prefixes smaller than this many nodes.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != (graph.n,):
+        raise ValueError(f"scores must have shape ({graph.n},)")
+    ranking = scores / graph.degrees if normalize_by_degree else scores
+    support = np.flatnonzero(ranking > 0)
+    if support.shape[0] == 0:
+        raise ValueError("score vector has empty support; nothing to sweep")
+    order = support[np.argsort(-ranking[support], kind="stable")]
+    if max_prefix is not None:
+        order = order[:max_prefix]
+
+    total_volume = graph.volume()
+    adjacency = graph.adjacency
+    indptr, indices = adjacency.indptr, adjacency.indices
+    in_prefix = np.zeros(graph.n, dtype=bool)
+    volume = 0.0
+    cut = 0.0
+    profile = np.empty(order.shape[0])
+
+    for position, node in enumerate(order):
+        degree = graph.degrees[node]
+        neighbors = indices[indptr[node] : indptr[node + 1]]
+        internal = float(np.count_nonzero(in_prefix[neighbors]))
+        # Adding `node`: its non-internal edges join the cut; each
+        # internal edge removes one previously-cut edge and never adds.
+        cut += degree - 2.0 * internal
+        volume += degree
+        in_prefix[node] = True
+        denominator = min(volume, total_volume - volume)
+        profile[position] = cut / denominator if denominator > 0 else 1.0
+
+    valid_from = max(min_size - 1, 0)
+    best_position = valid_from + int(np.argmin(profile[valid_from:]))
+    cluster = np.sort(order[: best_position + 1])
+    return SweepResult(
+        cluster=cluster,
+        conductance=float(profile[best_position]),
+        profile=profile,
+        order=order,
+    )

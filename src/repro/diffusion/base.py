@@ -1,0 +1,76 @@
+"""Shared types for RWR-based graph diffusion (Section IV).
+
+All diffusion algorithms in this package estimate, for an input row vector
+``f`` and restart factor ``α``, the quantity
+
+    q_t ≈ Σ_i f_i · π(vi, vt)        with   0 ≤ (exact − q_t) ≤ ε · d(vt)
+
+(Eq. 14), where ``π`` is the RWR score of Eq. (6): a walk stops at the
+current node with probability ``1-α`` and moves to a uniform neighbor with
+probability ``α``.  They differ only in *how* residual mass is converted:
+node-at-a-time (push), batched above-threshold (greedy), everything-at-once
+(non-greedy), or adaptively mixed (adaptive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DiffusionResult", "validate_diffusion_inputs"]
+
+
+@dataclass
+class DiffusionResult:
+    """Outcome of a diffusion run.
+
+    Attributes
+    ----------
+    q:
+        The diffused (reserve) vector satisfying Eq. (14).
+    residual:
+        Final residual vector ``r`` (all entries below ``ε·d(vi)``).
+    iterations:
+        Number of outer loop iterations executed.
+    greedy_steps / nongreedy_steps:
+        How many iterations used each strategy (Algo 2 bookkeeping).
+    work:
+        Cost-model work: Σ over iterations of the volume of the diffused
+        support — the quantity bounded by ``‖f‖₁ / ((1-α)ε)``.
+    residual_history:
+        ``‖r‖₁`` after each iteration (Fig. 5's y-axis).
+    """
+
+    q: np.ndarray
+    residual: np.ndarray
+    iterations: int
+    greedy_steps: int = 0
+    nongreedy_steps: int = 0
+    work: float = 0.0
+    residual_history: list[float] = field(default_factory=list)
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices of non-zero entries of the diffused vector."""
+        return np.flatnonzero(self.q)
+
+    @property
+    def support_size(self) -> int:
+        return int(np.count_nonzero(self.q))
+
+
+def validate_diffusion_inputs(
+    f: np.ndarray, n: int, alpha: float, epsilon: float
+) -> np.ndarray:
+    """Check and canonicalize diffusion inputs shared by every algorithm."""
+    f = np.asarray(f, dtype=np.float64)
+    if f.shape != (n,):
+        raise ValueError(f"input vector has shape {f.shape}, expected ({n},)")
+    if np.any(f < 0):
+        raise ValueError("diffusion input vector must be non-negative")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"restart factor alpha must be in (0, 1), got {alpha}")
+    if epsilon <= 0.0:
+        raise ValueError(f"diffusion threshold epsilon must be positive, got {epsilon}")
+    return f

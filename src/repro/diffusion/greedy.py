@@ -1,0 +1,92 @@
+"""GreedyDiffuse (Algo 1).
+
+Each iteration gathers every residual whose degree-normalized value is at
+or above the threshold (Eq. 15) into a batch vector ``γ``, converts a
+``1-α`` fraction into reserves and scatters the remaining ``α`` fraction
+to neighbors via one sparse mat-vec (Eq. 16).  Terminates when no residual
+clears the threshold, which yields the additive guarantee of Theorem IV.1
+in ``O(max{|supp(f)|, ‖f‖₁ / ((1-α)ε)})`` work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import AttributedGraph
+from .base import DiffusionResult, validate_diffusion_inputs
+
+__all__ = ["greedy_diffuse"]
+
+#: Support sizes at or below this use the row-slicing scatter, whose work
+#: is proportional to the support volume (the locality regime); larger
+#: batches fall back to a full sparse mat-vec, which is faster in NumPy.
+_SELECTIVE_LIMIT = 64
+
+
+def _scatter(graph: AttributedGraph, gamma: np.ndarray, support: np.ndarray) -> np.ndarray:
+    """``α``-free transition step ``γ P`` choosing the cheaper kernel."""
+    if support.shape[0] <= _SELECTIVE_LIMIT:
+        return graph.apply_transition_selective(gamma, support)
+    return graph.apply_transition(gamma)
+
+
+def greedy_diffuse(
+    graph: AttributedGraph,
+    f: np.ndarray,
+    alpha: float = 0.8,
+    epsilon: float = 1e-6,
+    max_iterations: int = 1_000_000,
+    track_history: bool = False,
+) -> DiffusionResult:
+    """Run GreedyDiffuse on input vector ``f``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to diffuse over.
+    f:
+        Non-negative length-``n`` input vector.
+    alpha:
+        Restart factor; mass moves with probability ``α``.
+    epsilon:
+        Diffusion threshold of Eq. (15); the output obeys Eq. (14).
+    max_iterations:
+        Safety valve; Theorem IV.1's mass argument guarantees termination
+        long before this for sane parameters.
+    track_history:
+        Record ``‖r‖₁`` after every iteration (used by Fig. 5).
+    """
+    f = validate_diffusion_inputs(f, graph.n, alpha, epsilon)
+    degrees = graph.degrees
+    r = f.copy()
+    q = np.zeros(graph.n)
+    history: list[float] = []
+    work = 0.0
+    iterations = 0
+
+    while iterations < max_iterations:
+        support = np.flatnonzero(r >= epsilon * degrees)
+        if support.shape[0] == 0:
+            break
+        iterations += 1
+        gamma = np.zeros(graph.n)
+        gamma[support] = r[support]
+        r[support] = 0.0
+        q[support] += (1.0 - alpha) * gamma[support]
+        r += alpha * _scatter(graph, gamma, support)
+        work += float(degrees[support].sum())
+        if track_history:
+            history.append(float(np.abs(r).sum()))
+    else:
+        raise RuntimeError(
+            f"GreedyDiffuse did not terminate within {max_iterations} iterations"
+        )
+
+    return DiffusionResult(
+        q=q,
+        residual=r,
+        iterations=iterations,
+        greedy_steps=iterations,
+        work=work,
+        residual_history=history,
+    )

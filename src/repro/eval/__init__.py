@@ -1,0 +1,31 @@
+"""Evaluation: metrics, experiment harness, and reporting."""
+
+from .metrics import conductance, f1_score, precision, recall, wcss
+from .harness import (
+    MethodEvaluation,
+    evaluate_many,
+    evaluate_method,
+    grid_search,
+    sample_seeds,
+)
+from .reporting import format_series, format_table, write_csv
+from .significance import BootstrapResult, paired_bootstrap, sign_test
+
+__all__ = [
+    "conductance",
+    "f1_score",
+    "precision",
+    "recall",
+    "wcss",
+    "MethodEvaluation",
+    "evaluate_many",
+    "evaluate_method",
+    "grid_search",
+    "sample_seeds",
+    "format_series",
+    "format_table",
+    "write_csv",
+    "BootstrapResult",
+    "paired_bootstrap",
+    "sign_test",
+]

@@ -1,0 +1,88 @@
+"""Clustering quality metrics used in the paper's evaluation.
+
+* **precision / recall / F1** against the ground-truth local cluster
+  (Section VI-B: ``precision = |Cs ∩ Ys| / |Cs|`` with ``|Cs| = |Ys|``,
+  ``recall = |Cs ∩ Ys| / |Ys|``).
+* **conductance** (Table VII): cut weight over the smaller side's volume.
+* **WCSS** (Table VII): within-cluster attribute variance — the mean
+  squared distance of member attribute vectors to their centroid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import AttributedGraph
+
+__all__ = ["precision", "recall", "f1_score", "conductance", "wcss"]
+
+
+def _as_index_array(nodes) -> np.ndarray:
+    return np.unique(np.asarray(nodes, dtype=np.int64))
+
+
+def precision(predicted, truth) -> float:
+    """``|Cs ∩ Ys| / |Cs|``."""
+    predicted = _as_index_array(predicted)
+    truth = _as_index_array(truth)
+    if predicted.shape[0] == 0:
+        return 0.0
+    overlap = np.intersect1d(predicted, truth, assume_unique=True).shape[0]
+    return overlap / predicted.shape[0]
+
+
+def recall(predicted, truth) -> float:
+    """``|Cs ∩ Ys| / |Ys|``."""
+    predicted = _as_index_array(predicted)
+    truth = _as_index_array(truth)
+    if truth.shape[0] == 0:
+        return 0.0
+    overlap = np.intersect1d(predicted, truth, assume_unique=True).shape[0]
+    return overlap / truth.shape[0]
+
+
+def f1_score(predicted, truth) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def conductance(graph: AttributedGraph, cluster) -> float:
+    """``cut(C, V∖C) / min(vol(C), vol(V∖C))`` (Lovász [23]).
+
+    Degenerate clusters (empty, or covering the whole volume) have
+    conductance defined as 1 — the worst value — matching common
+    evaluation practice.
+    """
+    cluster = _as_index_array(cluster)
+    if cluster.shape[0] == 0 or cluster.shape[0] >= graph.n:
+        return 1.0
+    membership = np.zeros(graph.n, dtype=bool)
+    membership[cluster] = True
+    volume_inside = float(graph.degrees[cluster].sum())
+    volume_outside = graph.volume() - volume_inside
+    if min(volume_inside, volume_outside) <= 0.0:
+        return 1.0
+    # Internal edge endpoints counted via one sparse mat-vec.
+    internal_degree = graph.adjacency.dot(membership.astype(np.float64))
+    cut = volume_inside - float(internal_degree[cluster].sum())
+    return cut / min(volume_inside, volume_outside)
+
+
+def wcss(graph: AttributedGraph, cluster) -> float:
+    """Mean squared distance of members' attributes to their centroid.
+
+    With L2-normalized attributes the value lies in [0, 2]; smaller means
+    higher attribute homogeneity.  Raises on non-attributed graphs.
+    """
+    if graph.attributes is None:
+        raise ValueError("WCSS requires node attributes")
+    cluster = _as_index_array(cluster)
+    if cluster.shape[0] == 0:
+        return 0.0
+    members = graph.attributes[cluster]
+    centroid = members.mean(axis=0)
+    return float(np.mean(np.sum((members - centroid) ** 2, axis=1)))

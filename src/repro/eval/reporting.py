@@ -1,0 +1,71 @@
+"""Plain-text table/series rendering for experiment drivers.
+
+Every experiment driver prints the same rows/series its paper counterpart
+reports; these helpers keep the formatting uniform and can dump CSVs for
+EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+__all__ = ["format_table", "format_series", "write_csv"]
+
+
+def format_table(
+    rows: list[dict], columns: list[str] | None = None, title: str | None = None
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0])
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values,
+    series: dict[str, list],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render named series over a shared x-axis (figures as text)."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series.items():
+            value = values[index]
+            row[name] = round(value, precision) if isinstance(value, float) else value
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def write_csv(rows: list[dict], path: str | Path) -> Path:
+    """Write dict rows to a CSV file (columns from the first row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    columns = list(rows[0])
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

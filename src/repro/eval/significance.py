@@ -1,0 +1,97 @@
+"""Paired significance testing for method comparisons.
+
+The paper reports seed-averaged precision; whether "LACA beats baseline X
+by 1.8%" is meaningful depends on per-seed variance.  This module provides
+the two standard tools for paired per-seed scores:
+
+* :func:`paired_bootstrap` — bootstrap confidence interval on the mean
+  difference and the probability that method A beats method B.
+* :func:`sign_test` — distribution-free p-value on per-seed wins.
+
+Both operate on aligned score sequences (same seeds, same order), which is
+exactly what :class:`~repro.eval.harness.MethodEvaluation` produces when
+two methods are evaluated with the same seed array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+__all__ = ["BootstrapResult", "paired_bootstrap", "sign_test"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison (A minus B)."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_a_better: float
+    n_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the confidence interval excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def paired_bootstrap(
+    scores_a,
+    scores_b,
+    n_resamples: int = 10_000,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> BootstrapResult:
+    """Bootstrap the per-seed difference ``A − B``.
+
+    Returns the mean difference, a percentile confidence interval, and
+    the fraction of resamples where A's mean exceeds B's.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape or scores_a.ndim != 1:
+        raise ValueError("score sequences must be 1-D and aligned")
+    if scores_a.shape[0] < 2:
+        raise ValueError("need at least two paired scores")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = rng or np.random.default_rng(0)
+
+    differences = scores_a - scores_b
+    n = differences.shape[0]
+    indices = rng.integers(0, n, size=(n_resamples, n))
+    resampled_means = differences[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled_means, [tail, 1.0 - tail])
+    return BootstrapResult(
+        mean_difference=float(differences.mean()),
+        ci_low=float(low),
+        ci_high=float(high),
+        p_a_better=float(np.mean(resampled_means > 0.0)),
+        n_samples=n,
+    )
+
+
+def sign_test(scores_a, scores_b) -> float:
+    """Two-sided sign-test p-value on per-seed wins (ties dropped).
+
+    Exact binomial computation; small and dependency-free.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape or scores_a.ndim != 1:
+        raise ValueError("score sequences must be 1-D and aligned")
+    differences = scores_a - scores_b
+    wins_a = int(np.sum(differences > 0))
+    wins_b = int(np.sum(differences < 0))
+    n = wins_a + wins_b
+    if n == 0:
+        return 1.0
+    k = max(wins_a, wins_b)
+    # P(X >= k) for X ~ Binomial(n, 1/2), doubled for two sides.
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * tail))

@@ -1,0 +1,42 @@
+"""Experiment drivers — one module per paper table/figure (DESIGN.md §4).
+
+Each module exposes ``run(...) -> dict`` (structured results) and
+``main()`` (prints the paper-shaped table/series).  Run from the command
+line as ``python -m repro.experiments <name>``.
+"""
+
+from . import (
+    common,
+    fig05_convergence,
+    fig06_recall,
+    fig07_runtime,
+    fig09_parameters,
+    fig10_scalability,
+    table02_degrees,
+    table03_stats,
+    table05_precision,
+    table06_ablation,
+    table07_cond_wcss,
+    table09_nonattr,
+    table10_alt_bdd,
+    table11_alt_similarity,
+)
+
+#: name → module, for the CLI and the benchmark harness.
+DRIVERS = {
+    "table02": table02_degrees,
+    "table03": table03_stats,
+    "table05": table05_precision,
+    "table06": table06_ablation,
+    "table07": table07_cond_wcss,
+    "table09": table09_nonattr,
+    "table10": table10_alt_bdd,
+    "table11": table11_alt_similarity,
+    "fig05": fig05_convergence,
+    "fig06": fig06_recall,
+    "fig07": fig07_runtime,
+    "fig09": fig09_parameters,
+    "fig10": fig10_scalability,
+}
+
+__all__ = ["DRIVERS", "common"] + [module.__name__.split(".")[-1] for module in DRIVERS.values()]

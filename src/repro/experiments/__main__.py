@@ -1,0 +1,54 @@
+"""CLI: ``python -m repro.experiments <driver> [--scale S] [--seeds N]``.
+
+``python -m repro.experiments list`` prints the available drivers;
+``python -m repro.experiments all --scale 0.3`` runs everything (slow at
+full scale — the benchmarks use small scales).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+
+from . import DRIVERS
+
+
+def _call_main(module, scale: float, n_seeds: int | None) -> None:
+    signature = inspect.signature(module.main)
+    kwargs = {}
+    if "scale" in signature.parameters:
+        kwargs["scale"] = scale
+    if n_seeds is not None and "n_seeds" in signature.parameters:
+        kwargs["n_seeds"] = n_seeds
+    module.main(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run LACA reproduction experiments",
+    )
+    parser.add_argument("driver", help="driver name, 'list', or 'all'")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--seeds", type=int, default=None, help="seed-node count")
+    args = parser.parse_args(argv)
+
+    if args.driver == "list":
+        for name, module in DRIVERS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {summary}")
+        return 0
+    if args.driver == "all":
+        for name, module in DRIVERS.items():
+            print(f"=== {name} " + "=" * 50)
+            _call_main(module, args.scale, args.seeds)
+            print()
+        return 0
+    if args.driver not in DRIVERS:
+        parser.error(f"unknown driver {args.driver!r}; try 'list'")
+    _call_main(DRIVERS[args.driver], args.scale, args.seeds)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

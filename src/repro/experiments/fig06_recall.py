@@ -1,0 +1,142 @@
+"""Fig. 6: recall of diffusion-based methods as ε varies.
+
+The paper sweeps the diffusion threshold ε from 1 down to 1e-8 for the
+output-size-controllable methods — LACA (C), LACA (E), LACA (w/o SNAS),
+PR-Nibble, APR-Nibble, HK-Relax — and plots the recall of the explored
+region against the ground truth: smaller ε explores more and recalls more,
+and LACA dominates at matched ε.
+
+For each method the "predicted cluster" at threshold ε is the support of
+its diffusion scores (the explored region), not a fixed-size top-K, which
+is how a runtime budget maps to recall in the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.pr_nibble import APRNibble, PRNibble
+from ..core.config import LacaConfig
+from ..core.laca import laca_scores
+from ..core.pipeline import LACA
+from ..eval.metrics import recall
+from ..eval.reporting import format_series
+from .common import prepared, seeds_for
+
+__all__ = ["run", "main", "DEFAULT_EPSILONS"]
+
+DEFAULT_DATASETS = ["cora", "pubmed", "blogcl", "flickr", "arxiv", "yelp"]
+DEFAULT_EPSILONS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+
+
+def _laca_recall(graph, seeds, config, tnam) -> float:
+    values = []
+    for seed in seeds:
+        seed = int(seed)
+        result = laca_scores(graph, seed, config=config, tnam=tnam)
+        values.append(recall(result.support_indices(), graph.ground_truth_cluster(seed)))
+    return float(np.mean(values))
+
+
+def _hk_recall(graph, seeds, epsilon: float) -> float:
+    """HK-Relax explored region at budget ε.
+
+    Our HK implementation uses dense Taylor mat-vecs, so its raw support
+    is the whole graph; the original's push procedure only materializes
+    nodes whose heat-kernel mass clears ε·d(v).  We apply that threshold
+    to mirror the original's locality."""
+    from ..baselines.hk_relax import heat_kernel_scores
+
+    values = []
+    for seed in seeds:
+        seed = int(seed)
+        scores = heat_kernel_scores(graph, seed, epsilon=min(epsilon, 1e-3))
+        explored = np.flatnonzero(scores >= epsilon * graph.degrees)
+        values.append(recall(explored, graph.ground_truth_cluster(seed)))
+    return float(np.mean(values))
+
+
+def _baseline_recall(graph, seeds, method) -> float:
+    values = []
+    for seed in seeds:
+        seed = int(seed)
+        scores = method.score_vector(seed)
+        predicted = np.flatnonzero(scores)
+        values.append(recall(predicted, graph.ground_truth_cluster(seed)))
+    return float(np.mean(values))
+
+
+def run(
+    datasets: list[str] | None = None,
+    epsilons: list[float] | None = None,
+    scale: float = 1.0,
+    n_seeds: int = 10,
+    alpha: float = 0.8,
+) -> dict:
+    """Recall-vs-ε series per dataset for the six diffusion methods."""
+    datasets = datasets or DEFAULT_DATASETS
+    epsilons = epsilons or DEFAULT_EPSILONS
+    panels: dict[str, dict[str, list[float]]] = {}
+
+    for dataset in datasets:
+        graph = prepared(dataset, scale)
+        seeds = seeds_for(graph, n_seeds)
+        series: dict[str, list[float]] = {
+            "LACA (C)": [],
+            "LACA (E)": [],
+            "LACA (w/o SNAS)": [],
+            "PR-Nibble": [],
+            "APR-Nibble": [],
+            "HK-Relax": [],
+        }
+        # TNAMs are ε-independent; build once per metric.
+        laca_c = LACA(metric="cosine").fit(graph)
+        laca_e = LACA(metric="exp_cosine").fit(graph)
+        for epsilon in epsilons:
+            config_c = LacaConfig(alpha=alpha, epsilon=epsilon, metric="cosine")
+            config_e = LacaConfig(alpha=alpha, epsilon=epsilon, metric="exp_cosine")
+            config_plain = LacaConfig(alpha=alpha, epsilon=epsilon, use_snas=False)
+            series["LACA (C)"].append(
+                _laca_recall(graph, seeds, config_c, laca_c.tnam)
+            )
+            series["LACA (E)"].append(
+                _laca_recall(graph, seeds, config_e, laca_e.tnam)
+            )
+            series["LACA (w/o SNAS)"].append(
+                _laca_recall(graph, seeds, config_plain, None)
+            )
+            series["PR-Nibble"].append(
+                _baseline_recall(
+                    graph, seeds, PRNibble(alpha=alpha, epsilon=epsilon).fit(graph)
+                )
+            )
+            series["APR-Nibble"].append(
+                _baseline_recall(
+                    graph, seeds, APRNibble(alpha=alpha, epsilon=epsilon).fit(graph)
+                )
+            )
+            series["HK-Relax"].append(
+                _hk_recall(graph, seeds, epsilon)
+            )
+        panels[dataset] = series
+    return {"panels": panels, "epsilons": epsilons}
+
+
+def main(scale: float = 1.0, n_seeds: int = 10) -> dict:
+    result = run(scale=scale, n_seeds=n_seeds)
+    for dataset, series in result["panels"].items():
+        print(
+            format_series(
+                "epsilon",
+                [f"{eps:g}" for eps in result["epsilons"]],
+                series,
+                title=f"Fig. 6 analog — recall vs ε on {dataset}",
+                precision=3,
+            )
+        )
+        print()
+    return result
+
+
+if __name__ == "__main__":
+    main()

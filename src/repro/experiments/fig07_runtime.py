@@ -1,0 +1,78 @@
+"""Fig. 7: preprocessing and online running times per dataset.
+
+The paper compares LACA (C) / LACA (E) against the four best competitors
+(by precision) on each dataset, split into preprocessing time (bar bottom)
+and average per-seed online time (bar top).  The reproduced driver selects
+the top-4 competitors from a Table V run (or an explicit list) and prints
+both columns.
+"""
+
+from __future__ import annotations
+
+from ..eval.harness import evaluate_method
+from ..eval.reporting import format_table
+from .common import ALL_DATASETS, available_methods, prepared, seeds_for
+from .table05_precision import _TABLE_METHODS
+
+__all__ = ["run", "main"]
+
+#: Fallback competitor pool if the caller does not supply precision data:
+#: the union of methods the paper's Fig. 7 panels actually display.
+_DEFAULT_COMPETITORS = [
+    "PR-Nibble",
+    "HK-Relax",
+    "WFD",
+    "p-Norm FD",
+    "SimAttr (C)",
+    "PANE (K-NN)",
+    "CFANE (K-NN)",
+    "Jaccard",
+]
+
+
+def run(
+    datasets: list[str] | None = None,
+    scale: float = 1.0,
+    n_seeds: int = 10,
+    competitors: list[str] | None = None,
+    top_k: int = 4,
+) -> dict:
+    """Timing rows: preprocessing seconds + mean online seconds."""
+    datasets = datasets or ALL_DATASETS
+    competitors = competitors or _DEFAULT_COMPETITORS
+    panels = {}
+    for dataset in datasets:
+        graph = prepared(dataset, scale)
+        seeds = seeds_for(graph, n_seeds)
+        names = ["LACA (C)", "LACA (E)"] + available_methods(
+            [name for name in competitors if name in _TABLE_METHODS], dataset
+        )[:top_k]
+        rows = []
+        for name in names:
+            evaluation = evaluate_method(graph, name, seeds)
+            rows.append(
+                {
+                    "method": name,
+                    "preprocess_s": round(evaluation.preprocessing_seconds, 4),
+                    "online_s": round(evaluation.mean_online_seconds, 4),
+                    "precision": round(evaluation.mean_precision, 3),
+                }
+            )
+        panels[dataset] = rows
+    return {"panels": panels}
+
+
+def main(scale: float = 1.0, n_seeds: int = 10) -> dict:
+    result = run(scale=scale, n_seeds=n_seeds)
+    for dataset, rows in result["panels"].items():
+        print(
+            format_table(
+                rows, title=f"Fig. 7 analog — running times on {dataset}"
+            )
+        )
+        print()
+    return result
+
+
+if __name__ == "__main__":
+    main()

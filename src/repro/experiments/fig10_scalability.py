@@ -1,0 +1,119 @@
+"""Fig. 10: scalability — LACA's running time as ε and k vary.
+
+On the four largest datasets the paper shows (a/b) online time growing
+roughly 10× per tenfold decrease of ε (the O(1/ε) complexity), and (c/d)
+time staying flat as the TNAM dimension k grows from 8 to 128 (the cost is
+dominated by 1/ε, not k).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.config import LacaConfig
+from ..core.laca import laca_scores
+from ..core.pipeline import LACA
+from ..eval.reporting import format_series
+from .common import LARGE_DATASETS, prepared, seeds_for
+
+__all__ = ["run", "main"]
+
+DEFAULT_EPSILONS = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+DEFAULT_KS = [8, 16, 32, 64, 128]
+
+
+def _mean_online_seconds(graph, seeds, config: LacaConfig, tnam) -> float:
+    times = []
+    for seed in seeds:
+        start = time.perf_counter()
+        laca_scores(graph, int(seed), config=config, tnam=tnam)
+        times.append(time.perf_counter() - start)
+    return float(np.mean(times))
+
+
+def run(
+    datasets: list[str] | None = None,
+    scale: float = 1.0,
+    n_seeds: int = 5,
+    metrics: tuple[str, ...] = ("cosine", "exp_cosine"),
+    epsilons: list[float] | None = None,
+    ks: list[int] | None = None,
+) -> dict:
+    """Timing series vs ε (fixed k) and vs k (fixed ε)."""
+    datasets = datasets or LARGE_DATASETS
+    epsilons = epsilons or DEFAULT_EPSILONS
+    ks = ks or DEFAULT_KS
+    results: dict[str, dict] = {"epsilon": {}, "k": {}}
+
+    for metric in metrics:
+        for dataset in datasets:
+            graph = prepared(dataset, scale)
+            seeds = seeds_for(graph, n_seeds)
+            key = (metric, dataset)
+
+            model = LACA(LacaConfig(metric=metric)).fit(graph)
+            results["epsilon"][key] = [
+                _mean_online_seconds(
+                    graph,
+                    seeds,
+                    LacaConfig(metric=metric, epsilon=epsilon),
+                    model.tnam,
+                )
+                for epsilon in epsilons
+            ]
+            k_times = []
+            for k in ks:
+                k_model = LACA(LacaConfig(metric=metric, k=k)).fit(graph)
+                k_times.append(
+                    _mean_online_seconds(
+                        graph,
+                        seeds,
+                        LacaConfig(metric=metric, k=k),
+                        k_model.tnam,
+                    )
+                )
+            results["k"][key] = k_times
+    return {
+        "results": results,
+        "epsilons": epsilons,
+        "ks": ks,
+        "metrics": metrics,
+        "datasets": datasets,
+    }
+
+
+def main(scale: float = 1.0, n_seeds: int = 5) -> dict:
+    result = run(scale=scale, n_seeds=n_seeds)
+    for metric in result["metrics"]:
+        label = "C" if metric == "cosine" else "E"
+        print(
+            format_series(
+                "epsilon",
+                [f"{eps:g}" for eps in result["epsilons"]],
+                {
+                    dataset: result["results"]["epsilon"][(metric, dataset)]
+                    for dataset in result["datasets"]
+                },
+                title=f"Fig. 10 analog — online seconds vs ε, LACA ({label})",
+            )
+        )
+        print()
+        print(
+            format_series(
+                "k",
+                result["ks"],
+                {
+                    dataset: result["results"]["k"][(metric, dataset)]
+                    for dataset in result["datasets"]
+                },
+                title=f"Fig. 10 analog — online seconds vs k, LACA ({label})",
+            )
+        )
+        print()
+    return result
+
+
+if __name__ == "__main__":
+    main()

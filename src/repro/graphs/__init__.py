@@ -1,0 +1,65 @@
+"""Graph substrate: attributed graphs, generators, datasets, and I/O."""
+
+from .graph import AttributedGraph, normalize_rows
+from .generators import (
+    SBMConfig,
+    attributed_sbm,
+    plain_sbm,
+    community_sizes,
+    planted_partition_edges,
+    rewire_edges,
+    sample_secondary_memberships,
+    topic_attributes,
+)
+from .datasets import (
+    ATTRIBUTED_DATASETS,
+    NON_ATTRIBUTED_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+from .io import load_graph, save_graph
+from .corruption import (
+    add_random_edges,
+    drop_edges,
+    mask_attributes,
+    shuffle_attributes,
+)
+from .analysis import (
+    attribute_separability,
+    community_mixing_matrix,
+    degree_statistics,
+    ground_truth_conductance,
+    summarize,
+)
+
+__all__ = [
+    "AttributedGraph",
+    "normalize_rows",
+    "SBMConfig",
+    "attributed_sbm",
+    "plain_sbm",
+    "community_sizes",
+    "planted_partition_edges",
+    "rewire_edges",
+    "sample_secondary_memberships",
+    "topic_attributes",
+    "ATTRIBUTED_DATASETS",
+    "NON_ATTRIBUTED_DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_statistics",
+    "load_dataset",
+    "load_graph",
+    "save_graph",
+    "add_random_edges",
+    "drop_edges",
+    "mask_attributes",
+    "shuffle_attributes",
+    "attribute_separability",
+    "community_mixing_matrix",
+    "degree_statistics",
+    "ground_truth_conductance",
+    "summarize",
+]

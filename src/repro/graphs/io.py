@@ -1,0 +1,57 @@
+"""Serialization of attributed graphs.
+
+Graphs are stored as a single ``.npz`` archive containing the CSR pieces,
+the attribute matrix and community labels — enough to round-trip any
+:class:`~repro.graphs.graph.AttributedGraph` without pickling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import AttributedGraph
+
+__all__ = ["save_graph", "load_graph"]
+
+
+def save_graph(graph: AttributedGraph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    adj = graph.adjacency
+    payload: dict[str, np.ndarray] = {
+        "indptr": adj.indptr,
+        "indices": adj.indices,
+        "data": adj.data,
+        "shape": np.asarray(adj.shape),
+        "name": np.asarray(graph.name),
+    }
+    if graph.attributes is not None:
+        payload["attributes"] = graph.attributes
+    if graph.communities is not None:
+        payload["communities"] = graph.communities
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_graph(path: str | Path) -> AttributedGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        shape = tuple(archive["shape"])
+        adj = sp.csr_matrix(
+            (archive["data"], archive["indices"], archive["indptr"]), shape=shape
+        )
+        attributes = archive["attributes"] if "attributes" in archive else None
+        communities = archive["communities"] if "communities" in archive else None
+        name = str(archive["name"])
+    return AttributedGraph(
+        adjacency=adj, attributes=attributes, communities=communities, name=name
+    )

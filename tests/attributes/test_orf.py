@@ -1,0 +1,84 @@
+"""Tests for orthogonal random features (Theorem V.2)."""
+
+import numpy as np
+
+from repro.graphs.graph import normalize_rows
+from repro.attributes.orf import orf_feature_map, orthogonal_random_projection
+
+
+class TestProjection:
+    def test_shape(self, rng):
+        projection = orthogonal_random_projection(8, 8, rng)
+        assert projection.shape == (8, 8)
+
+    def test_block_columns_orthogonal_directions(self, rng):
+        projection = orthogonal_random_projection(6, 6, rng)
+        # Columns are χ-scaled rows of an orthogonal matrix: normalized
+        # columns must be pairwise orthogonal within the block.
+        normalized = projection / np.linalg.norm(projection, axis=0)
+        gram = normalized.T @ normalized
+        assert np.allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_stacking_beyond_dim(self, rng):
+        projection = orthogonal_random_projection(4, 10, rng)
+        assert projection.shape == (4, 10)
+
+    def test_row_norm_distribution_matches_gaussian(self, rng):
+        """χ(k)-scaled rows should have E[‖row‖²] ≈ k like a Gaussian."""
+        dim = 16
+        samples = [
+            np.sum(orthogonal_random_projection(dim, dim, rng) ** 2) / dim
+            for _ in range(50)
+        ]
+        assert abs(np.mean(samples) - dim) < dim * 0.2
+
+
+class TestFeatureMap:
+    def test_output_width_is_2k(self, rng):
+        data = normalize_rows(rng.normal(size=(10, 6)))
+        features = orf_feature_map(data, n_features=12, rng=rng)
+        assert features.shape == (10, 24)
+
+    def test_unbiased_kernel_estimate(self):
+        """E[y(i)·y(j)] = exp(x(i)·x(j)/δ) (Theorem V.2), by averaging."""
+        rng = np.random.default_rng(11)
+        data = normalize_rows(rng.normal(size=(6, 5)))
+        target = np.exp(data @ data.T)
+        estimates = np.zeros_like(target)
+        n_draws = 400
+        for draw in range(n_draws):
+            features = orf_feature_map(
+                data, n_features=8, rng=np.random.default_rng(1000 + draw)
+            )
+            estimates += features @ features.T
+        estimates /= n_draws
+        assert np.allclose(estimates, target, atol=0.15)
+
+    def test_delta_two(self):
+        rng = np.random.default_rng(5)
+        data = normalize_rows(rng.normal(size=(5, 4)))
+        target = np.exp((data @ data.T) / 2.0)
+        estimates = np.zeros_like(target)
+        for draw in range(300):
+            features = orf_feature_map(
+                data, n_features=8, delta=2.0, rng=np.random.default_rng(draw)
+            )
+            estimates += features @ features.T
+        estimates /= 300
+        assert np.allclose(estimates, target, atol=0.15)
+
+    def test_variance_shrinks_with_more_features(self):
+        rng = np.random.default_rng(2)
+        data = normalize_rows(rng.normal(size=(4, 6)))
+        target = np.exp(data @ data.T)
+
+        def mse(n_features):
+            errors = []
+            for draw in range(60):
+                features = orf_feature_map(
+                    data, n_features, rng=np.random.default_rng(draw)
+                )
+                errors.append(np.mean((features @ features.T - target) ** 2))
+            return np.mean(errors)
+
+        assert mse(64) < mse(4)

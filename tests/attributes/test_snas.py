@@ -1,0 +1,107 @@
+"""Tests for the SNAS metrics (Eq. 1-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graphs.graph import normalize_rows
+from repro.attributes.snas import (
+    METRIC_NAMES,
+    kernel_matrix,
+    snas_from_kernel,
+    snas_matrix,
+)
+
+
+def _random_bow(rng, n=20, d=8):
+    """Random non-negative bag-of-words-like attributes."""
+    attrs = rng.exponential(size=(n, d)) * (rng.random((n, d)) < 0.5)
+    attrs[attrs.sum(axis=1) == 0, 0] = 1.0
+    return normalize_rows(attrs)
+
+
+class TestKernels:
+    def test_cosine_diagonal_is_one(self, rng):
+        attrs = _random_bow(rng)
+        kernel = kernel_matrix(attrs, "cosine")
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_exp_cosine_positive(self, rng):
+        attrs = _random_bow(rng)
+        kernel = kernel_matrix(attrs, "exp_cosine")
+        assert (kernel > 0).all()
+
+    def test_exp_cosine_delta_scales(self, rng):
+        attrs = _random_bow(rng)
+        k1 = kernel_matrix(attrs, "exp_cosine", delta=1.0)
+        k2 = kernel_matrix(attrs, "exp_cosine", delta=2.0)
+        assert np.allclose(k1, np.exp(attrs @ attrs.T))
+        assert np.allclose(k2, np.exp((attrs @ attrs.T) / 2.0))
+
+    def test_jaccard_in_unit_interval(self, rng):
+        attrs = _random_bow(rng)
+        kernel = kernel_matrix(attrs, "jaccard")
+        assert (kernel >= 0).all() and (kernel <= 1).all()
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_pearson_clipped_non_negative(self, rng):
+        attrs = rng.normal(size=(15, 6))
+        kernel = kernel_matrix(attrs, "pearson")
+        assert (kernel >= 0).all()
+
+    def test_unknown_metric_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown metric"):
+            kernel_matrix(_random_bow(rng), "hamming")
+
+    def test_metric_names_exposed(self):
+        assert set(METRIC_NAMES) == {"cosine", "exp_cosine", "jaccard", "pearson"}
+
+
+class TestNormalization:
+    def test_symmetric(self, rng):
+        snas = snas_matrix(_random_bow(rng), "cosine")
+        assert np.allclose(snas, snas.T)
+
+    def test_range(self, rng):
+        for metric in ("cosine", "exp_cosine"):
+            snas = snas_matrix(_random_bow(rng), metric)
+            assert (snas >= 0).all()
+            assert (snas <= 1.0 + 1e-9).all()
+
+    def test_eq1_definition(self, rng):
+        """Direct check of Eq. (1) against the matrix implementation."""
+        attrs = _random_bow(rng, n=12)
+        kernel = kernel_matrix(attrs, "exp_cosine")
+        snas = snas_from_kernel(kernel)
+        i, j = 3, 7
+        expected = kernel[i, j] / np.sqrt(kernel[i].sum()) / np.sqrt(kernel[j].sum())
+        assert np.isclose(snas[i, j], expected)
+
+    def test_identical_attrs_highest_similarity(self):
+        attrs = normalize_rows(
+            np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        )
+        snas = snas_matrix(attrs, "cosine")
+        assert snas[0, 1] > snas[0, 2]
+
+    def test_nonpositive_rowsum_raises(self):
+        kernel = np.array([[1.0, -2.0], [-2.0, 1.0]])
+        with pytest.raises(ValueError, match="non-positive row sum"):
+            snas_from_kernel(kernel)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n=st.integers(min_value=2, max_value=30),
+        d=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_symmetric_bounded(self, seed, n, d):
+        """SNAS of non-negative attributes is symmetric and in [0, 1]."""
+        rng = np.random.default_rng(seed)
+        attrs = _random_bow(rng, n=n, d=d)
+        for metric in ("cosine", "exp_cosine"):
+            snas = snas_matrix(attrs, metric)
+            assert np.allclose(snas, snas.T)
+            assert (snas >= -1e-12).all()
+            assert (snas <= 1.0 + 1e-9).all()

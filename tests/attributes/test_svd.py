@@ -1,0 +1,81 @@
+"""Tests for the randomized truncated SVD (Algo 3's first step)."""
+
+import numpy as np
+import scipy.sparse as sp
+import pytest
+
+from repro.attributes.svd import randomized_svd, truncated_svd
+
+
+def _low_rank_matrix(rng, n=200, d=50, rank=5, noise=0.01):
+    left = rng.normal(size=(n, rank))
+    right = rng.normal(size=(rank, d))
+    return left @ right + noise * rng.normal(size=(n, d))
+
+
+class TestRandomizedSVD:
+    def test_shapes(self, rng):
+        matrix = _low_rank_matrix(rng)
+        u, sigma, vt = randomized_svd(matrix, k=5, rng=rng)
+        assert u.shape == (200, 5)
+        assert sigma.shape == (5,)
+        assert vt.shape == (5, 50)
+
+    def test_orthonormal_columns(self, rng):
+        matrix = _low_rank_matrix(rng)
+        u, _, vt = randomized_svd(matrix, k=5, rng=rng)
+        assert np.allclose(u.T @ u, np.eye(5), atol=1e-8)
+        assert np.allclose(vt @ vt.T, np.eye(5), atol=1e-8)
+
+    def test_reconstructs_low_rank(self, rng):
+        matrix = _low_rank_matrix(rng, noise=0.0)
+        u, sigma, vt = randomized_svd(matrix, k=5, rng=rng)
+        reconstruction = (u * sigma) @ vt
+        relative = np.linalg.norm(matrix - reconstruction) / np.linalg.norm(matrix)
+        assert relative < 1e-8
+
+    def test_matches_exact_singular_values(self, rng):
+        matrix = _low_rank_matrix(rng, noise=0.05)
+        _, sigma, _ = randomized_svd(matrix, k=5, rng=rng)
+        exact = np.linalg.svd(matrix, compute_uv=False)[:5]
+        assert np.allclose(sigma, exact, rtol=1e-3)
+
+    def test_sparse_input(self, rng):
+        matrix = sp.random(300, 80, density=0.05, random_state=1, format="csr")
+        u, sigma, vt = randomized_svd(matrix, k=4, rng=rng)
+        assert u.shape == (300, 4)
+        assert (np.diff(sigma) <= 1e-12).all()  # non-increasing
+
+    def test_k_larger_than_dims_clamped(self, rng):
+        matrix = rng.normal(size=(10, 6))
+        u, sigma, _ = randomized_svd(matrix, k=50, rng=rng)
+        assert sigma.shape[0] == 6
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            randomized_svd(rng.normal(size=(5, 5)), k=0, rng=rng)
+
+
+class TestTruncatedSVD:
+    def test_exact_branch_for_small(self, rng):
+        matrix = _low_rank_matrix(rng, n=50, d=20)
+        u, sigma, vt = truncated_svd(matrix, k=5)
+        exact = np.linalg.svd(matrix, compute_uv=False)[:5]
+        assert np.allclose(sigma, exact)
+
+    def test_lemma_v1_gram_error_bound(self, rng):
+        """‖(UΛ)(UΛ)ᵀ − XXᵀ‖₂ ≤ λ_{k+1}² (Lemma V.1), exact branch."""
+        matrix = _low_rank_matrix(rng, n=60, d=30, rank=8, noise=0.3)
+        k = 4
+        u, sigma, _ = truncated_svd(matrix, k=k)
+        gram_approx = (u * sigma) @ (u * sigma).T
+        gram = matrix @ matrix.T
+        spectral_error = np.linalg.norm(gram - gram_approx, ord=2)
+        all_sigma = np.linalg.svd(matrix, compute_uv=False)
+        assert spectral_error <= all_sigma[k] ** 2 + 1e-8
+
+    def test_randomized_branch_for_large(self, rng):
+        matrix = _low_rank_matrix(rng, n=600, d=500, rank=6)
+        u, sigma, _ = truncated_svd(matrix, k=6, exact_threshold=100, rng=rng)
+        exact = np.linalg.svd(matrix, compute_uv=False)[:6]
+        assert np.allclose(sigma, exact, rtol=1e-2)

@@ -1,0 +1,105 @@
+"""Tests for TNAM construction (Algo 3 / Eq. 10 / Eq. 18)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import normalize_rows
+from repro.attributes.snas import snas_matrix
+from repro.attributes.tnam import TNAM, build_tnam
+
+
+def _bow_attrs(rng, n=60, d=20):
+    attrs = rng.exponential(size=(n, d)) * (rng.random((n, d)) < 0.4)
+    attrs[attrs.sum(axis=1) == 0, 0] = 1.0
+    return normalize_rows(attrs)
+
+
+class TestCosineTNAM:
+    def test_dimensions(self, rng):
+        attrs = _bow_attrs(rng)
+        tnam = build_tnam(attrs, k=8, metric="cosine", rng=rng)
+        assert tnam.z.shape == (60, 8)
+        assert tnam.metric == "cosine"
+        assert tnam.n == 60
+
+    def test_approximates_snas_at_full_rank(self, rng):
+        attrs = _bow_attrs(rng, n=40, d=10)
+        tnam = build_tnam(attrs, k=10, metric="cosine", rng=rng)
+        exact = snas_matrix(attrs, "cosine")
+        assert np.allclose(tnam.dense_snas(), exact, atol=1e-6)
+
+    def test_low_rank_still_close(self, rng):
+        attrs = _bow_attrs(rng, n=80, d=40)
+        tnam = build_tnam(attrs, k=16, metric="cosine", rng=rng)
+        exact = snas_matrix(attrs, "cosine")
+        error = np.abs(tnam.dense_snas() - exact).mean()
+        assert error < 0.02
+
+    def test_snas_pair_accessor(self, rng):
+        attrs = _bow_attrs(rng, n=30, d=10)
+        tnam = build_tnam(attrs, k=10, metric="cosine", rng=rng)
+        assert np.isclose(tnam.snas(2, 5), tnam.dense_snas()[2, 5])
+
+    def test_snas_rows_slices(self, rng):
+        attrs = _bow_attrs(rng, n=30, d=10)
+        tnam = build_tnam(attrs, k=5, metric="cosine", rng=rng)
+        support = np.array([1, 4, 9])
+        assert np.allclose(tnam.snas_rows(support), tnam.z[support])
+
+
+class TestExpCosineTNAM:
+    def test_dimensions_are_2k(self, rng):
+        attrs = _bow_attrs(rng)
+        tnam = build_tnam(attrs, k=8, metric="exp_cosine", rng=rng)
+        assert tnam.z.shape == (60, 16)
+
+    def test_approximates_exp_snas(self, rng):
+        attrs = _bow_attrs(rng, n=50, d=12)
+        exact = snas_matrix(attrs, "exp_cosine")
+        # Average several ORF draws to beat the estimator variance.
+        approx = np.zeros_like(exact)
+        draws = 24
+        for draw in range(draws):
+            tnam = build_tnam(
+                attrs, k=32, metric="exp_cosine", rng=np.random.default_rng(draw)
+            )
+            approx += tnam.dense_snas()
+        approx /= draws
+        assert np.abs(approx - exact).mean() < 0.05
+
+
+class TestAblationsAndAlternatives:
+    def test_without_svd_uses_raw_attributes(self, rng):
+        attrs = _bow_attrs(rng, n=40, d=12)
+        tnam = build_tnam(attrs, k=6, metric="cosine", use_svd=False, rng=rng)
+        # Without the k-SVD reduction the feature width is the raw d.
+        assert tnam.z.shape == (40, 12)
+        exact = snas_matrix(attrs, "cosine")
+        assert np.allclose(tnam.dense_snas(), exact, atol=1e-9)
+
+    def test_jaccard_factorization(self, rng):
+        attrs = _bow_attrs(rng, n=40, d=12)
+        tnam = build_tnam(attrs, k=40, metric="jaccard", rng=rng)
+        exact = snas_matrix(attrs, "jaccard")
+        assert np.abs(tnam.dense_snas() - exact).mean() < 0.05
+
+    def test_pearson_factorization(self, rng):
+        attrs = _bow_attrs(rng, n=40, d=12)
+        tnam = build_tnam(attrs, k=40, metric="pearson", rng=rng)
+        exact = snas_matrix(attrs, "pearson")
+        assert np.abs(tnam.dense_snas() - exact).mean() < 0.05
+
+    def test_unknown_metric_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown metric"):
+            build_tnam(_bow_attrs(rng), metric="manhattan")
+
+    def test_invalid_k_raises(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            build_tnam(_bow_attrs(rng), k=0, use_svd=False)
+
+
+class TestDataclass:
+    def test_frozen(self, rng):
+        tnam = build_tnam(_bow_attrs(rng), k=4)
+        with pytest.raises(AttributeError):
+            tnam.k = 8

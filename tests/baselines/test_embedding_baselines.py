@@ -1,0 +1,99 @@
+"""Tests for the embedding baselines and their extraction modes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.embedding import (
+    EXTRACTION_MODES,
+    Cfane,
+    Node2Vec,
+    Pane,
+    Sage,
+    forward_affinity,
+    ppmi_from_walks,
+    sample_walks,
+)
+from repro.eval.metrics import precision
+
+
+class TestWalks:
+    def test_walk_shape(self, small_sbm, rng):
+        walks = sample_walks(small_sbm, walks_per_node=2, walk_length=5, rng=rng)
+        assert walks.shape == (2 * small_sbm.n, 6)
+
+    def test_walks_follow_edges(self, small_sbm, rng):
+        walks = sample_walks(small_sbm, 1, 4, rng)
+        adjacency = small_sbm.adjacency
+        for walk in walks[:50]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert adjacency[a, b] == 1.0
+
+    def test_ppmi_symmetric_nonnegative(self, small_sbm, rng):
+        walks = sample_walks(small_sbm, 2, 8, rng)
+        ppmi = ppmi_from_walks(walks, small_sbm.n, window=3)
+        assert (ppmi != ppmi.T).nnz == 0
+        assert ppmi.data.min() > 0
+
+
+class TestForwardAffinity:
+    def test_rows_are_convex_combinations(self, small_sbm):
+        """F rows are (truncated) RWR-weighted averages of attribute rows:
+        row sums are bounded by the attribute row-sum scale."""
+        affinity = forward_affinity(small_sbm, alpha=0.8, n_hops=12)
+        assert affinity.shape == small_sbm.attributes.shape
+        assert np.isfinite(affinity).all()
+
+    def test_alpha_zero_returns_attributes(self, small_sbm):
+        affinity = forward_affinity(small_sbm, alpha=1e-12, n_hops=3)
+        assert np.allclose(affinity, small_sbm.attributes, atol=1e-9)
+
+    def test_requires_attributes(self, plain_graph):
+        with pytest.raises(ValueError, match="attributes"):
+            forward_affinity(plain_graph)
+
+
+class TestEmbeddingMethods:
+    @pytest.mark.parametrize("cls", [Node2Vec, Sage, Pane, Cfane])
+    def test_fit_produces_normalized_embeddings(self, small_sbm, cls):
+        method = cls(dim=16).fit(small_sbm)
+        norms = np.linalg.norm(method.embeddings, axis=1)
+        assert method.embeddings.shape[0] == small_sbm.n
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_node2vec_works_without_attributes(self, plain_graph):
+        method = Node2Vec(dim=16).fit(plain_graph)
+        assert method.cluster(0, 10).shape == (10,)
+
+    @pytest.mark.parametrize("cls", [Sage, Pane, Cfane])
+    def test_attribute_methods_reject_plain(self, plain_graph, cls):
+        with pytest.raises(ValueError, match="attributes"):
+            cls(dim=8).fit(plain_graph)
+
+    @pytest.mark.parametrize("extraction", EXTRACTION_MODES)
+    def test_extraction_modes(self, small_sbm, extraction):
+        method = Pane(dim=16, extraction=extraction, n_clusters=3).fit(small_sbm)
+        truth = small_sbm.ground_truth_cluster(0)
+        cluster = method.cluster(0, truth.shape[0])
+        assert cluster.shape[0] == truth.shape[0]
+        assert 0 in cluster
+
+    def test_invalid_extraction(self):
+        with pytest.raises(ValueError, match="extraction"):
+            Node2Vec(extraction="agglomerative")
+
+    def test_names_carry_mode(self):
+        assert Node2Vec(extraction="knn").name == "Node2Vec (K-NN)"
+        assert Pane(extraction="sc").name == "PANE (SC)"
+        assert Cfane(extraction="dbscan").name == "CFANE (DBSCAN)"
+
+    def test_pane_beats_random_on_sbm(self, medium_sbm):
+        method = Pane(dim=16).fit(medium_sbm)
+        truth = medium_sbm.ground_truth_cluster(1)
+        base_rate = truth.shape[0] / medium_sbm.n
+        achieved = precision(method.cluster(1, truth.shape[0]), truth)
+        assert achieved > min(2 * base_rate, 0.9)
+
+    def test_deterministic_given_state(self, small_sbm):
+        a = Pane(dim=8, random_state=5).fit(small_sbm).score_vector(0)
+        b = Pane(dim=8, random_state=5).fit(small_sbm).score_vector(0)
+        assert np.allclose(a, b)

@@ -1,0 +1,126 @@
+"""Tests for the LGC baseline group: PR-Nibble, APR-Nibble, HK-Relax,
+CRD, p-Norm FD, WFD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.crd import CapacityReleasingDiffusion, crd_mass
+from repro.baselines.flow import (
+    PNormFlowDiffusion,
+    WeightedFlowDiffusion,
+    flow_diffusion_potentials,
+)
+from repro.baselines.hk_relax import HKRelax, heat_kernel_scores
+from repro.baselines.pr_nibble import APRNibble, PRNibble
+from repro.diffusion.exact import exact_rwr
+from repro.eval.metrics import precision
+
+
+class TestPRNibble:
+    def test_scores_approximate_ppr_over_degree(self, small_sbm):
+        method = PRNibble(alpha=0.8, epsilon=1e-7).fit(small_sbm)
+        scores = method.score_vector(4)
+        exact = exact_rwr(small_sbm, 4, 0.8) / small_sbm.degrees
+        assert np.abs(scores - exact).max() < 1e-5
+
+    def test_finds_planted_cluster(self, small_sbm):
+        method = PRNibble().fit(small_sbm)
+        truth = small_sbm.ground_truth_cluster(0)
+        predicted = method.cluster(0, truth.shape[0])
+        assert precision(predicted, truth) > 0.5
+
+    def test_works_without_attributes(self, plain_graph):
+        method = PRNibble().fit(plain_graph)
+        assert method.cluster(0, 10).shape == (10,)
+
+
+class TestAPRNibble:
+    def test_requires_attributes(self, plain_graph):
+        with pytest.raises(ValueError, match="attributes"):
+            APRNibble().fit(plain_graph)
+
+    def test_scores_differ_from_plain(self, small_sbm):
+        plain = PRNibble(epsilon=1e-6).fit(small_sbm).score_vector(0)
+        weighted = APRNibble(epsilon=1e-6).fit(small_sbm).score_vector(0)
+        assert not np.allclose(plain, weighted)
+
+    def test_cluster_quality_reasonable(self, small_sbm):
+        method = APRNibble().fit(small_sbm)
+        truth = small_sbm.ground_truth_cluster(3)
+        assert precision(method.cluster(3, truth.shape[0]), truth) > 0.4
+
+
+class TestHKRelax:
+    def test_heat_kernel_mass_nearly_one(self, small_sbm):
+        scores = heat_kernel_scores(small_sbm, 0, t=5.0, epsilon=1e-6)
+        assert 0.99 <= scores.sum() <= 1.0 + 1e-9
+
+    def test_seed_neighborhood_favored(self, small_sbm):
+        method = HKRelax().fit(small_sbm)
+        truth = small_sbm.ground_truth_cluster(7)
+        assert precision(method.cluster(7, truth.shape[0]), truth) > 0.5
+
+    def test_larger_t_spreads_more(self, small_sbm):
+        near = heat_kernel_scores(small_sbm, 0, t=1.0)
+        far = heat_kernel_scores(small_sbm, 0, t=15.0)
+        assert near[0] > far[0]
+
+
+class TestCRD:
+    def test_mass_stays_non_negative(self, small_sbm):
+        mass = crd_mass(small_sbm, 0, target_volume=100.0)
+        assert (mass >= -1e-9).all()
+        assert mass.sum() > 0
+
+    def test_wet_region_grows_with_target(self, small_sbm):
+        small = crd_mass(small_sbm, 0, target_volume=20.0)
+        large = crd_mass(small_sbm, 0, target_volume=400.0)
+        assert (large > 0).sum() >= (small > 0).sum()
+
+    def test_cluster_around_seed(self, small_sbm):
+        method = CapacityReleasingDiffusion().fit(small_sbm)
+        cluster = method.cluster(0, 15)
+        assert 0 in cluster
+        assert cluster.shape == (15,)
+
+
+class TestFlowDiffusion:
+    def test_potentials_non_negative_and_local(self, small_sbm):
+        x = flow_diffusion_potentials(small_sbm.adjacency, 0, source_mass=50.0)
+        assert (x >= 0).all()
+        assert 0 < (x > 0).sum() < small_sbm.n  # strictly local support
+
+    def test_no_excess_after_convergence(self, small_sbm):
+        """Feasibility: every node's net mass ≤ its sink capacity."""
+        adjacency = small_sbm.adjacency
+        source_mass = 80.0
+        x = flow_diffusion_potentials(adjacency, 5, source_mass=source_mass)
+        degrees = small_sbm.degrees
+        dense = adjacency.toarray()
+        for node in range(small_sbm.n):
+            flow_out = np.sum(dense[node] * (x[node] - x))
+            net = (source_mass if node == 5 else 0.0) - flow_out
+            assert net <= degrees[node] + 1e-4
+
+    def test_p4_runs(self, small_sbm):
+        x = flow_diffusion_potentials(
+            small_sbm.adjacency, 0, source_mass=50.0, p=4.0
+        )
+        assert (x >= 0).all()
+        assert x[0] > 0
+
+    def test_pnorm_fd_cluster(self, small_sbm):
+        method = PNormFlowDiffusion().fit(small_sbm)
+        truth = small_sbm.ground_truth_cluster(2)
+        assert precision(method.cluster(2, truth.shape[0]), truth) > 0.4
+
+    def test_wfd_requires_attributes(self, plain_graph):
+        with pytest.raises(ValueError, match="attributes"):
+            WeightedFlowDiffusion().fit(plain_graph)
+
+    def test_wfd_uses_weights(self, small_sbm):
+        plain = PNormFlowDiffusion().fit(small_sbm)
+        weighted = WeightedFlowDiffusion().fit(small_sbm)
+        assert not np.allclose(
+            plain.score_vector(0), weighted.score_vector(0)
+        )

@@ -1,0 +1,119 @@
+"""Tests for link-similarity and attribute-similarity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.attr_similarity import AttriRank, SimAttr
+from repro.baselines.link_similarity import (
+    AdamicAdar,
+    CommonNeighbors,
+    JaccardSimilarity,
+    SimRank,
+)
+
+
+class TestCommonNeighbors:
+    def test_counts_match_networkx(self, tiny_graph):
+        import networkx as nx
+
+        nx_graph = tiny_graph.to_networkx()
+        method = CommonNeighbors().fit(tiny_graph)
+        scores = method.score_vector(0)
+        for node in range(1, 6):
+            expected = len(list(nx.common_neighbors(nx_graph, 0, node)))
+            assert scores[node] == expected
+
+
+class TestJaccard:
+    def test_matches_networkx(self, tiny_graph):
+        import networkx as nx
+
+        nx_graph = tiny_graph.to_networkx()
+        method = JaccardSimilarity().fit(tiny_graph)
+        scores = method.score_vector(0)
+        pairs = [(0, node) for node in range(1, 6)]
+        for _, node, value in nx.jaccard_coefficient(nx_graph, pairs):
+            assert np.isclose(scores[node], value)
+
+    def test_seed_ranked_first(self, small_sbm):
+        scores = JaccardSimilarity().fit(small_sbm).score_vector(3)
+        assert scores.argmax() == 3
+
+
+class TestAdamicAdar:
+    def test_matches_networkx(self, tiny_graph):
+        import networkx as nx
+
+        nx_graph = tiny_graph.to_networkx()
+        method = AdamicAdar().fit(tiny_graph)
+        scores = method.score_vector(0)
+        pairs = [(0, node) for node in range(1, 6)]
+        for _, node, value in nx.adamic_adar_index(nx_graph, pairs):
+            assert np.isclose(scores[node], value)
+
+
+class TestSimRank:
+    def test_scores_bounded(self, small_sbm):
+        method = SimRank(n_walks=8).fit(small_sbm)
+        scores = method.score_vector(0)
+        others = np.delete(scores, 0)
+        assert (others >= 0).all()
+        assert (others <= 1.0).all()
+
+    def test_neighbors_of_seed_score_positive(self, tiny_graph):
+        method = SimRank(n_walks=200, walk_length=4).fit(tiny_graph)
+        scores = method.score_vector(0)
+        # Nodes 1 and 2 share a triangle with the seed: walks meet often.
+        assert scores[1] > 0
+        assert scores[2] > 0
+
+    def test_deterministic_per_seed_node(self, small_sbm):
+        a = SimRank(n_walks=4, random_state=3).fit(small_sbm).score_vector(2)
+        b = SimRank(n_walks=4, random_state=3).fit(small_sbm).score_vector(2)
+        assert np.array_equal(a, b)
+
+
+class TestSimAttr:
+    def test_ranking_is_cosine(self, small_sbm):
+        method = SimAttr(metric="cosine").fit(small_sbm)
+        scores = method.score_vector(0)
+        cosines = small_sbm.attributes @ small_sbm.attributes[0]
+        others = np.delete(np.argsort(-scores), 0)
+        expected = np.delete(np.argsort(-cosines), 0)
+        # Seed is boosted to first; remaining order must match cosine.
+        assert scores.argmax() == 0
+        assert list(others[:10]) == list(expected[:10])
+
+    def test_exp_variant_same_ranking(self, small_sbm):
+        """exp is monotone ⇒ (C) and (E) produce the same precision —
+        the reason Table V shows identical rows for SimAttr (C)/(E)."""
+        c_scores = SimAttr(metric="cosine").fit(small_sbm).score_vector(5)
+        e_scores = SimAttr(metric="exp_cosine").fit(small_sbm).score_vector(5)
+        assert np.array_equal(np.argsort(-c_scores), np.argsort(-e_scores))
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            SimAttr(metric="jaccard")
+
+    def test_requires_attributes(self, plain_graph):
+        with pytest.raises(ValueError, match="attributes"):
+            SimAttr().fit(plain_graph)
+
+    def test_names(self):
+        assert SimAttr("cosine").name == "SimAttr (C)"
+        assert SimAttr("exp_cosine").name == "SimAttr (E)"
+
+
+class TestAttriRank:
+    def test_scores_form_distribution_like_vector(self, small_sbm):
+        method = AttriRank().fit(small_sbm)
+        scores = method.score_vector(0)
+        others = np.delete(scores, 0)
+        assert (others >= 0).all()
+
+    def test_combines_topology_and_attributes(self, small_sbm):
+        attrirank = AttriRank().fit(small_sbm).score_vector(0)
+        simattr = SimAttr().fit(small_sbm).score_vector(0)
+        assert not np.array_equal(
+            np.argsort(-attrirank)[:20], np.argsort(-simattr)[:20]
+        )

@@ -1,0 +1,73 @@
+"""Tests for the weighted-graph utilities behind APR-Nibble and WFD."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.weighted import gaussian_edge_weights, weighted_push
+from repro.diffusion.push import push_diffuse
+
+
+class TestGaussianEdgeWeights:
+    def test_same_sparsity_pattern(self, small_sbm):
+        weighted = gaussian_edge_weights(small_sbm)
+        assert (weighted != 0).nnz == small_sbm.adjacency.nnz
+
+    def test_weights_in_unit_interval(self, small_sbm):
+        weighted = gaussian_edge_weights(small_sbm)
+        assert weighted.data.min() > 0.0
+        assert weighted.data.max() <= 1.0 + 1e-12
+
+    def test_symmetric(self, small_sbm):
+        weighted = gaussian_edge_weights(small_sbm)
+        assert abs(weighted - weighted.T).max() < 1e-12
+
+    def test_identical_attributes_give_weight_one(self, tiny_graph):
+        weighted = gaussian_edge_weights(tiny_graph)
+        # Edge (0, 2): near-identical profiles → weight near 1; bridge
+        # (2, 3): dissimilar profiles → clearly smaller weight.
+        assert weighted[0, 2] > weighted[2, 3]
+
+    def test_bandwidth_flattens_weights(self, small_sbm):
+        narrow = gaussian_edge_weights(small_sbm, bandwidth=0.3)
+        wide = gaussian_edge_weights(small_sbm, bandwidth=10.0)
+        assert wide.data.std() < narrow.data.std()
+
+    def test_plain_graph_unit_weights(self, plain_graph):
+        weighted = gaussian_edge_weights(plain_graph)
+        assert np.allclose(weighted.data, 1.0)
+
+
+class TestWeightedPush:
+    def test_reduces_to_plain_push_on_unit_weights(self, small_sbm):
+        """With all weights 1 the weighted push equals the plain engine."""
+        unit = sp.csr_matrix(small_sbm.adjacency)
+        scores = weighted_push(unit, seed=4, alpha=0.8, epsilon=1e-6)
+        one_hot = np.zeros(small_sbm.n)
+        one_hot[4] = 1.0
+        plain = push_diffuse(small_sbm, one_hot, alpha=0.8, epsilon=1e-6)
+        assert np.abs(scores - plain.q).max() < 1e-9
+
+    def test_mass_bounded_by_one(self, small_sbm):
+        weighted = gaussian_edge_weights(small_sbm)
+        scores = weighted_push(weighted, seed=0, alpha=0.8, epsilon=1e-5)
+        assert 0.0 < scores.sum() <= 1.0 + 1e-9
+        assert (scores >= 0).all()
+
+    def test_prefers_attribute_similar_neighbors(self, tiny_graph):
+        """Mass crossing the low-weight bridge shrinks relative to the
+        plain walk."""
+        weighted = gaussian_edge_weights(tiny_graph, bandwidth=0.3)
+        attr_scores = weighted_push(weighted, seed=0, alpha=0.9, epsilon=1e-8)
+        one_hot = np.zeros(tiny_graph.n)
+        one_hot[0] = 1.0
+        plain = push_diffuse(tiny_graph, one_hot, alpha=0.9, epsilon=1e-8).q
+        # Fraction of mass ending in the other triangle (nodes 3-5).
+        attr_cross = attr_scores[3:].sum() / attr_scores.sum()
+        plain_cross = plain[3:].sum() / plain.sum()
+        assert attr_cross < plain_cross
+
+    def test_push_budget_enforced(self, medium_sbm):
+        weighted = sp.csr_matrix(medium_sbm.adjacency)
+        with pytest.raises(RuntimeError, match="push"):
+            weighted_push(weighted, seed=0, alpha=0.9, epsilon=1e-8, max_pushes=5)

@@ -1,0 +1,97 @@
+"""Tests for the clustering substrate (k-means, spectral, DBSCAN)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import NOISE, dbscan, estimate_eps
+from repro.cluster.kmeans import kmeans, kmeans_plus_plus
+from repro.cluster.spectral import knn_affinity, spectral_clustering
+
+
+def _three_blobs(rng, per_blob=30, spread=0.1):
+    centers = np.array([[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]])
+    points = np.concatenate(
+        [center + spread * rng.normal(size=(per_blob, 2)) for center in centers]
+    )
+    labels = np.repeat(np.arange(3), per_blob)
+    return points, labels
+
+
+def _clustering_agrees(predicted, truth) -> bool:
+    """Cluster labels match the truth up to a relabeling."""
+    for cluster in np.unique(predicted):
+        members = truth[predicted == cluster]
+        if members.shape[0] and np.unique(members).shape[0] > 1:
+            return False
+    return True
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, rng):
+        points, truth = _three_blobs(rng)
+        labels, centers = kmeans(points, 3, rng=rng)
+        assert _clustering_agrees(labels, truth)
+        assert centers.shape == (3, 2)
+
+    def test_k_equals_one(self, rng):
+        points, _ = _three_blobs(rng)
+        labels, centers = kmeans(points, 1, rng=rng)
+        assert (labels == 0).all()
+        assert np.allclose(centers[0], points.mean(axis=0))
+
+    def test_invalid_k(self, rng):
+        points, _ = _three_blobs(rng)
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(points, 0, rng=rng)
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(points, points.shape[0] + 1, rng=rng)
+
+    def test_plus_plus_spreads_centers(self, rng):
+        points, _ = _three_blobs(rng)
+        centers = kmeans_plus_plus(points, 3, rng)
+        distances = np.linalg.norm(centers[:, None] - centers[None, :], axis=2)
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() > 1.0  # one center per blob
+
+    def test_deterministic_given_rng(self):
+        rng_points = np.random.default_rng(0)
+        points, _ = _three_blobs(rng_points)
+        a, _ = kmeans(points, 3, rng=np.random.default_rng(1))
+        b, _ = kmeans(points, 3, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestSpectral:
+    def test_affinity_symmetric(self, rng):
+        points, _ = _three_blobs(rng)
+        affinity = knn_affinity(points, n_neighbors=5)
+        assert (affinity != affinity.T).nnz == 0
+
+    def test_recovers_blobs(self, rng):
+        points, truth = _three_blobs(rng)
+        labels = spectral_clustering(points, 3, rng=rng)
+        assert _clustering_agrees(labels, truth)
+
+
+class TestDBSCAN:
+    def test_recovers_blobs(self, rng):
+        points, truth = _three_blobs(rng)
+        labels = dbscan(points, eps=0.5, min_samples=4)
+        core = labels != NOISE
+        assert core.mean() > 0.9
+        assert _clustering_agrees(labels[core], truth[core])
+
+    def test_isolated_points_are_noise(self, rng):
+        points, _ = _three_blobs(rng)
+        points = np.concatenate([points, [[50.0, 50.0]]])
+        labels = dbscan(points, eps=0.5, min_samples=4)
+        assert labels[-1] == NOISE
+
+    def test_estimate_eps_positive(self, rng):
+        points, _ = _three_blobs(rng)
+        assert estimate_eps(points) > 0.0
+
+    def test_auto_eps_runs(self, rng):
+        points, _ = _three_blobs(rng)
+        labels = dbscan(points, min_samples=4)
+        assert labels.shape == (points.shape[0],)

@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import SBMConfig, attributed_sbm, plain_sbm
+from repro.graphs.graph import AttributedGraph
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> AttributedGraph:
+    """Two attribute-coherent triangles joined by one bridge edge.
+
+    Nodes 0-2 share one attribute profile, nodes 3-5 another; the bridge
+    (2, 3) is the only inter-community edge.  Small enough to reason about
+    by hand in diffusion and metric tests.
+    """
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    attrs = np.array(
+        [
+            [1.0, 0.1, 0.0],
+            [0.9, 0.2, 0.0],
+            [1.0, 0.0, 0.1],
+            [0.0, 0.1, 1.0],
+            [0.1, 0.0, 0.9],
+            [0.0, 0.2, 1.0],
+        ]
+    )
+    communities = np.array([0, 0, 0, 1, 1, 1])
+    return AttributedGraph.from_edges(
+        6, edges, attributes=attrs, communities=communities, name="tiny"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_sbm() -> AttributedGraph:
+    """120-node, 3-community attributed SBM (fast exact-oracle checks)."""
+    config = SBMConfig(
+        n=120,
+        n_communities=3,
+        avg_degree=8.0,
+        mixing=0.2,
+        d=24,
+        attribute_noise=0.6,
+        topic_overlap=0.2,
+    )
+    return attributed_sbm(config, seed=42, name="small-sbm")
+
+
+@pytest.fixture(scope="session")
+def medium_sbm() -> AttributedGraph:
+    """500-node, 5-community attributed SBM (integration-grade checks)."""
+    config = SBMConfig(
+        n=500,
+        n_communities=5,
+        avg_degree=10.0,
+        mixing=0.3,
+        d=48,
+        attribute_noise=1.0,
+        topic_overlap=0.3,
+        rewire_fraction=0.05,
+    )
+    return attributed_sbm(config, seed=7, name="medium-sbm")
+
+
+@pytest.fixture(scope="session")
+def plain_graph() -> AttributedGraph:
+    """Non-attributed planted-partition graph."""
+    return plain_sbm(
+        n=200, n_communities=4, avg_degree=8.0, mixing=0.15, seed=3, name="plain"
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

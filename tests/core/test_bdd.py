@@ -1,0 +1,88 @@
+"""Tests for exact BDD (Eq. 5) and its reformulations."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.snas import snas_matrix
+from repro.core.bdd import (
+    ALTERNATIVE_VARIANTS,
+    alternative_bdd,
+    exact_bdd,
+    exact_bdd_via_transform,
+)
+from repro.diffusion.exact import rwr_matrix
+
+
+class TestLiteralDefinition:
+    def test_matches_triple_sum(self, tiny_graph):
+        """Eq. (5) as an explicit triple loop on the tiny graph."""
+        alpha = 0.8
+        seed = 0
+        rwr = rwr_matrix(tiny_graph, alpha)
+        snas = snas_matrix(tiny_graph.attributes, "cosine")
+        via_matrix = exact_bdd(tiny_graph, seed, alpha)
+        n = tiny_graph.n
+        for target in range(n):
+            literal = sum(
+                rwr[seed, i] * snas[i, j] * rwr[target, j]
+                for i in range(n)
+                for j in range(n)
+            )
+            assert np.isclose(via_matrix[target], literal)
+
+    def test_transform_equivalence(self, small_sbm):
+        """Eq. (8) (degree-transformed) equals Eq. (5) — the paper's
+        problem transformation (Section III-A)."""
+        for seed in [0, 13, 77]:
+            direct = exact_bdd(small_sbm, seed, 0.8)
+            transformed = exact_bdd_via_transform(small_sbm, seed, 0.8)
+            assert np.allclose(direct, transformed, atol=1e-10)
+
+    def test_exp_metric_transform_equivalence(self, small_sbm):
+        direct = exact_bdd(small_sbm, 5, 0.8, metric="exp_cosine")
+        transformed = exact_bdd_via_transform(small_sbm, 5, 0.8, metric="exp_cosine")
+        assert np.allclose(direct, transformed, atol=1e-10)
+
+    def test_non_negative(self, small_sbm):
+        assert (exact_bdd(small_sbm, 3, 0.8) >= 0).all()
+
+    def test_seed_scores_high(self, small_sbm):
+        scores = exact_bdd(small_sbm, 21, 0.8)
+        assert scores[21] >= np.percentile(scores, 95)
+
+
+class TestNonAttributed:
+    def test_identity_snas_cosimrank_form(self, plain_graph):
+        """Without attributes, ρ_t = Σ_i π(s,i)·π(t,i) (CoSimRank-like)."""
+        alpha = 0.8
+        rwr = rwr_matrix(plain_graph, alpha)
+        scores = exact_bdd(plain_graph, 4, alpha)
+        expected = rwr @ rwr[4]
+        assert np.allclose(scores, expected)
+
+
+class TestAlternativeVariants:
+    def test_all_variants_run(self, tiny_graph):
+        for variant in ALTERNATIVE_VARIANTS:
+            scores = alternative_bdd(tiny_graph, 0, variant, 0.8)
+            assert scores.shape == (tiny_graph.n,)
+            assert np.isfinite(scores).all()
+
+    def test_unknown_variant_raises(self, tiny_graph):
+        with pytest.raises(ValueError, match="unknown variant"):
+            alternative_bdd(tiny_graph, 0, "RS-RS")
+
+    def test_variants_differ_from_bdd(self, small_sbm):
+        """The RS-formulations produce genuinely different rankings."""
+        bdd = exact_bdd(small_sbm, 0, 0.8)
+        variant = alternative_bdd(small_sbm, 0, "RS-RS-RS", 0.8)
+        top_bdd = set(np.argsort(-bdd)[:20])
+        top_variant = set(np.argsort(-variant)[:20])
+        assert top_bdd != top_variant
+
+    def test_shared_matrices_accepted(self, small_sbm):
+        rwr = rwr_matrix(small_sbm, 0.8)
+        snas = snas_matrix(small_sbm.attributes, "cosine")
+        a = alternative_bdd(small_sbm, 2, "R-RS-RS", 0.8, snas=snas, rwr=rwr)
+        b = alternative_bdd(small_sbm, 2, "R-RS-RS", 0.8)
+        assert np.allclose(a, b)

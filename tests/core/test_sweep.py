@@ -1,0 +1,75 @@
+"""Tests for sweep-cut extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.core.laca import laca_scores
+from repro.core.sweep import sweep_cut
+from repro.eval.metrics import conductance, precision
+
+
+class TestSweepMechanics:
+    def test_profile_matches_direct_conductance(self, small_sbm, rng):
+        scores = rng.random(small_sbm.n) * (rng.random(small_sbm.n) < 0.3)
+        if not scores.any():
+            scores[0] = 1.0
+        result = sweep_cut(small_sbm, scores)
+        # Every scanned prefix's profile entry equals the direct metric.
+        for position in range(0, result.order.shape[0], 7):
+            prefix = result.order[: position + 1]
+            assert np.isclose(
+                result.profile[position], conductance(small_sbm, prefix)
+            )
+
+    def test_best_is_minimum_of_profile(self, small_sbm, rng):
+        scores = rng.random(small_sbm.n)
+        result = sweep_cut(small_sbm, scores)
+        assert np.isclose(result.conductance, result.profile.min())
+        assert result.cluster.shape[0] == int(np.argmin(result.profile)) + 1
+
+    def test_empty_support_raises(self, small_sbm):
+        with pytest.raises(ValueError, match="empty support"):
+            sweep_cut(small_sbm, np.zeros(small_sbm.n))
+
+    def test_wrong_shape_raises(self, small_sbm):
+        with pytest.raises(ValueError, match="shape"):
+            sweep_cut(small_sbm, np.ones(3))
+
+    def test_max_prefix_limits_scan(self, small_sbm, rng):
+        scores = rng.random(small_sbm.n)
+        result = sweep_cut(small_sbm, scores, max_prefix=10)
+        assert result.profile.shape[0] == 10
+        assert result.cluster.shape[0] <= 10
+
+    def test_min_size_respected(self, small_sbm, rng):
+        scores = rng.random(small_sbm.n)
+        result = sweep_cut(small_sbm, scores, min_size=15)
+        assert result.cluster.shape[0] >= 15
+
+
+class TestSweepQuality:
+    def test_recovers_planted_cluster_from_laca_scores(self, small_sbm):
+        from repro.attributes.tnam import build_tnam
+
+        tnam = build_tnam(small_sbm.attributes, k=16)
+        config = LacaConfig(k=16, epsilon=1e-6)
+        seed = 0
+        scores = laca_scores(small_sbm, seed, config=config, tnam=tnam).scores
+        result = sweep_cut(small_sbm, scores, min_size=5)
+        truth = small_sbm.ground_truth_cluster(seed)
+        # The sweep cluster should be a decent stand-in for the ground
+        # truth without knowing |Ys| in advance.
+        assert precision(result.cluster, truth) > 0.5
+        # And its conductance should beat a random set of the same size.
+        rng = np.random.default_rng(0)
+        random_set = rng.choice(
+            small_sbm.n, size=result.cluster.shape[0], replace=False
+        )
+        assert result.conductance < conductance(small_sbm, random_set)
+
+    def test_degree_normalization_changes_order(self, small_sbm):
+        scores = small_sbm.degrees.astype(float)  # pure degree ranking
+        plain = sweep_cut(small_sbm, scores)
+        normalized = sweep_cut(small_sbm, scores, normalize_by_degree=True)
+        assert not np.array_equal(plain.order[:10], normalized.order[:10])

@@ -1,0 +1,65 @@
+"""Tests for the exact RWR / diffusion oracle."""
+
+import numpy as np
+
+from repro.diffusion.exact import exact_diffusion, exact_rwr, rwr_matrix
+
+
+class TestExactRWR:
+    def test_sums_to_one(self, tiny_graph):
+        pi = exact_rwr(tiny_graph, 0, alpha=0.8)
+        assert np.isclose(pi.sum(), 1.0)
+        assert (pi >= 0).all()
+
+    def test_matches_power_series(self, tiny_graph):
+        """π = (1-α) Σ αℓ (e_s Pℓ) (Eq. 6), truncated far out."""
+        alpha = 0.7
+        pi = exact_rwr(tiny_graph, 2, alpha=alpha)
+        series = np.zeros(tiny_graph.n)
+        vector = np.zeros(tiny_graph.n)
+        vector[2] = 1.0
+        coefficient = 1.0 - alpha
+        for _ in range(300):
+            series += coefficient * vector
+            vector = tiny_graph.apply_transition(vector)
+            coefficient *= alpha
+        assert np.allclose(pi, series, atol=1e-12)
+
+    def test_seed_has_high_mass(self, small_sbm):
+        pi = exact_rwr(small_sbm, 10, alpha=0.8)
+        assert pi[10] == pi.max()
+
+    def test_restart_factor_controls_spread(self, small_sbm):
+        near = exact_rwr(small_sbm, 0, alpha=0.3)
+        far = exact_rwr(small_sbm, 0, alpha=0.95)
+        assert near[0] > far[0]  # small α keeps mass at the seed
+
+
+class TestExactDiffusion:
+    def test_linear_in_input(self, tiny_graph, rng):
+        f1 = rng.random(6)
+        f2 = rng.random(6)
+        combined = exact_diffusion(tiny_graph, f1 + 2.0 * f2, alpha=0.8)
+        separate = exact_diffusion(tiny_graph, f1, 0.8) + 2.0 * exact_diffusion(
+            tiny_graph, f2, 0.8
+        )
+        assert np.allclose(combined, separate)
+
+    def test_preserves_mass(self, small_sbm, rng):
+        f = rng.random(small_sbm.n)
+        q = exact_diffusion(small_sbm, f, alpha=0.8)
+        assert np.isclose(q.sum(), f.sum())
+
+
+class TestRWRMatrix:
+    def test_rows_match_single_source(self, tiny_graph):
+        matrix = rwr_matrix(tiny_graph, 0.8)
+        for seed in range(tiny_graph.n):
+            assert np.allclose(matrix[seed], exact_rwr(tiny_graph, seed, 0.8))
+
+    def test_symmetry_identity(self, tiny_graph):
+        """d(vi)·π(vi, vj) = d(vj)·π(vj, vi) (Lemma 1 of [43])."""
+        matrix = rwr_matrix(tiny_graph, 0.8)
+        degrees = tiny_graph.degrees
+        left = degrees[:, None] * matrix
+        assert np.allclose(left, left.T)

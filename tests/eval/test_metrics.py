@@ -1,0 +1,86 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import conductance, f1_score, precision, recall, wcss
+
+
+class TestPrecisionRecall:
+    def test_perfect_overlap(self):
+        assert precision([1, 2, 3], [1, 2, 3]) == 1.0
+        assert recall([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert precision([1, 2, 3, 4], [3, 4, 5, 6]) == 0.5
+        assert recall([1, 2], [1, 2, 3, 4]) == 0.5
+
+    def test_disjoint(self):
+        assert precision([1], [2]) == 0.0
+        assert recall([1], [2]) == 0.0
+
+    def test_empty_cases(self):
+        assert precision([], [1, 2]) == 0.0
+        assert recall([1, 2], []) == 0.0
+
+    def test_duplicates_collapsed(self):
+        assert precision([1, 1, 2], [1, 2]) == 1.0
+
+    def test_f1_harmonic_mean(self):
+        p = precision([1, 2], [2, 3])  # 0.5
+        r = recall([1, 2], [2, 3])  # 0.5
+        assert f1_score([1, 2], [2, 3]) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_disjoint(self):
+        assert f1_score([1], [2]) == 0.0
+
+
+class TestConductance:
+    def test_tiny_graph_triangle(self, tiny_graph):
+        """Cluster {0,1,2}: one cut edge; vol = 7 → φ = 1/7."""
+        assert conductance(tiny_graph, [0, 1, 2]) == pytest.approx(1.0 / 7.0)
+
+    def test_single_node(self, tiny_graph):
+        """{2}: all 3 incident edges cut → φ = 1."""
+        assert conductance(tiny_graph, [2]) == pytest.approx(1.0)
+
+    def test_degenerate_clusters(self, tiny_graph):
+        assert conductance(tiny_graph, []) == 1.0
+        assert conductance(tiny_graph, list(range(6))) == 1.0
+
+    def test_uses_smaller_side_volume(self, tiny_graph):
+        """Complement of {0,1,2} has the same cut and volume → equal φ."""
+        a = conductance(tiny_graph, [0, 1, 2])
+        b = conductance(tiny_graph, [3, 4, 5])
+        assert a == pytest.approx(b)
+
+    def test_planted_cluster_lower_than_random(self, small_sbm, rng):
+        truth = small_sbm.ground_truth_cluster(0)
+        random_set = rng.choice(small_sbm.n, size=truth.shape[0], replace=False)
+        assert conductance(small_sbm, truth) < conductance(small_sbm, random_set)
+
+
+class TestWCSS:
+    def test_identical_attributes_zero(self, rng):
+        from repro.graphs.graph import AttributedGraph
+
+        attrs = np.tile([1.0, 0.0], (4, 1))
+        graph = AttributedGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0)], attributes=attrs
+        )
+        assert wcss(graph, [0, 1, 2, 3]) == pytest.approx(0.0)
+
+    def test_coherent_cluster_lower_than_mixed(self, tiny_graph):
+        assert wcss(tiny_graph, [0, 1, 2]) < wcss(tiny_graph, [0, 1, 3, 4])
+
+    def test_requires_attributes(self, plain_graph):
+        with pytest.raises(ValueError, match="attributes"):
+            wcss(plain_graph, [0, 1])
+
+    def test_empty_cluster(self, tiny_graph):
+        assert wcss(tiny_graph, []) == 0.0
+
+    def test_range_for_normalized_attrs(self, small_sbm, rng):
+        cluster = rng.choice(small_sbm.n, size=20, replace=False)
+        value = wcss(small_sbm, cluster)
+        assert 0.0 <= value <= 2.0

@@ -1,0 +1,62 @@
+"""Tests for table/series formatting and CSV export."""
+
+import csv
+
+from repro.eval.reporting import format_series, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in text and "yy" in text
+
+    def test_title_first(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 9}], columns=["a", "b"])
+        assert "9" in text
+
+
+class TestFormatSeries:
+    def test_renders_rows_per_x(self):
+        text = format_series("x", [1, 2], {"s1": [0.5, 0.25], "s2": [1.0, 2.0]})
+        assert "0.5" in text and "2.0" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+    def test_rounding(self):
+        text = format_series("x", [1], {"s": [0.123456789]}, precision=3)
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+
+class TestWriteCSV:
+    def test_round_trip(self, tmp_path):
+        rows = [{"m": "a", "v": 1.5}, {"m": "b", "v": 2.5}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with open(path) as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded[0]["m"] == "a"
+        assert float(loaded[1]["v"]) == 2.5
+
+    def test_empty_rows(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv([{"a": 1}], tmp_path / "x" / "y" / "z.csv")
+        assert path.exists()

@@ -1,0 +1,90 @@
+"""Tests for the paired significance tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.significance import BootstrapResult, paired_bootstrap, sign_test
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self, rng):
+        a = 0.8 + 0.02 * rng.normal(size=50)
+        b = 0.5 + 0.02 * rng.normal(size=50)
+        result = paired_bootstrap(a, b, rng=rng)
+        assert result.mean_difference == pytest.approx(0.3, abs=0.05)
+        assert result.significant
+        assert result.p_a_better > 0.99
+
+    def test_identical_not_significant(self, rng):
+        scores = rng.random(40)
+        result = paired_bootstrap(scores, scores, rng=rng)
+        assert result.mean_difference == 0.0
+        assert not result.significant
+
+    def test_noise_dominated_not_significant(self, rng):
+        a = 0.5 + 0.3 * rng.normal(size=10)
+        b = a + 0.001 * rng.normal(size=10)
+        result = paired_bootstrap(a, b, rng=rng)
+        assert not result.significant or abs(result.mean_difference) < 0.01
+
+    def test_ci_contains_mean(self, rng):
+        a = rng.random(30)
+        b = rng.random(30)
+        result = paired_bootstrap(a, b, rng=rng)
+        assert result.ci_low <= result.mean_difference <= result.ci_high
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            paired_bootstrap([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="two"):
+            paired_bootstrap([1.0], [2.0])
+        with pytest.raises(ValueError, match="confidence"):
+            paired_bootstrap([1.0, 2.0], [0.0, 1.0], confidence=1.5)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_ci_ordering(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random(20), rng.random(20)
+        result = paired_bootstrap(a, b, n_resamples=500, rng=rng)
+        assert result.ci_low <= result.ci_high
+        assert 0.0 <= result.p_a_better <= 1.0
+
+
+class TestSignTest:
+    def test_all_ties_is_one(self):
+        assert sign_test([0.5, 0.5], [0.5, 0.5]) == 1.0
+
+    def test_unanimous_wins_small_p(self):
+        a = np.linspace(0.6, 0.9, 12)
+        b = a - 0.1
+        assert sign_test(a, b) < 0.001
+
+    def test_balanced_wins_large_p(self):
+        a = np.array([1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        assert sign_test(a, b) == pytest.approx(1.0, abs=0.4)
+
+    def test_p_value_range(self, rng):
+        a, b = rng.random(25), rng.random(25)
+        assert 0.0 < sign_test(a, b) <= 1.0
+
+    def test_symmetry(self, rng):
+        a, b = rng.random(15), rng.random(15)
+        assert sign_test(a, b) == pytest.approx(sign_test(b, a))
+
+
+class TestOnRealEvaluations:
+    def test_laca_vs_nibble_comparison(self, medium_sbm):
+        """The machinery composes with the harness output."""
+        from repro.eval.harness import evaluate_method, sample_seeds
+
+        seeds = sample_seeds(medium_sbm, 12)
+        laca = evaluate_method(medium_sbm, "LACA (C)", seeds)
+        nibble = evaluate_method(medium_sbm, "PR-Nibble", seeds)
+        result = paired_bootstrap(laca.precisions, nibble.precisions)
+        assert isinstance(result, BootstrapResult)
+        assert result.n_samples == 12
+        # On this noisy-edge SBM LACA's advantage should be real.
+        assert result.mean_difference > 0.0

@@ -1,0 +1,156 @@
+"""Structural tests for the experiment drivers at tiny scale.
+
+Each driver must run end-to-end and return the documented structure; the
+quality/shape assertions live in the integration tests and benchmarks —
+these tests protect against drivers breaking as the library evolves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DRIVERS,
+    fig05_convergence,
+    fig06_recall,
+    fig07_runtime,
+    fig09_parameters,
+    fig10_scalability,
+    table02_degrees,
+    table03_stats,
+    table05_precision,
+    table06_ablation,
+    table07_cond_wcss,
+    table09_nonattr,
+    table10_alt_bdd,
+    table11_alt_similarity,
+)
+from repro.experiments.common import available_methods
+
+TINY = 0.08  # dataset scale used throughout these tests
+
+
+class TestCommon:
+    def test_availability_mask_small_dataset_keeps_all(self):
+        methods = ["PR-Nibble", "SimRank", "CFANE (SC)"]
+        assert available_methods(methods, "cora") == methods
+
+    def test_availability_mask_large_dataset_drops(self):
+        methods = ["PR-Nibble", "SimRank", "CFANE (SC)", "Node2Vec (K-NN)"]
+        assert available_methods(methods, "arxiv") == [
+            "PR-Nibble",
+            "Node2Vec (K-NN)",
+        ]
+        assert available_methods(methods, "amazon2m") == ["PR-Nibble"]
+
+    def test_driver_registry_complete(self):
+        assert set(DRIVERS) == {
+            "table02", "table03", "table05", "table06", "table07",
+            "table09", "table10", "table11",
+            "fig05", "fig06", "fig07", "fig09", "fig10",
+        }
+
+
+class TestTableDrivers:
+    def test_table03(self):
+        result = table03_stats.run(scale=TINY)
+        assert len(result["rows"]) == 11
+
+    def test_table02(self):
+        result = table02_degrees.run(datasets=["pubmed"], scale=TINY, n_seeds=3)
+        row = result["rows"][0]
+        assert row["dataset"] == "pubmed"
+        assert row["greedy"] > 0 and row["nongreedy"] > 0
+
+    def test_table05(self):
+        result = table05_precision.run(
+            datasets=["cora"],
+            scale=TINY,
+            n_seeds=3,
+            methods=["PR-Nibble", "SimAttr (C)", "LACA (C)"],
+        )
+        assert len(result["rows"]) == 3
+        assert set(result["ranks"]) == {"PR-Nibble", "SimAttr (C)", "LACA (C)"}
+        for row in result["rows"]:
+            assert 0.0 <= row["cora"] <= 1.0
+
+    def test_table06(self):
+        result = table06_ablation.run(
+            datasets=["cora"], scale=TINY, n_seeds=3, metrics=("cosine",)
+        )
+        assert len(result["rows"]) == 4  # full + 3 ablations
+
+    def test_table07(self):
+        result = table07_cond_wcss.run(
+            datasets=["cora"], scale=TINY, n_seeds=3,
+            methods=["PR-Nibble", "LACA (C)"],
+        )
+        rows = result["panels"]["cora"]
+        assert rows[0]["method"] == "Ground-truth"
+        assert len(rows) == 3
+
+    def test_table09(self):
+        result = table09_nonattr.run(datasets=["dblp"], scale=TINY, n_seeds=3)
+        assert result["stats"][0]["dataset"] == "dblp"
+        assert {row["method"] for row in result["rows"]} == {
+            "PR-Nibble", "HK-Relax", "CRD", "p-Norm FD", "LACA (w/o SNAS)",
+        }
+
+    def test_table10(self):
+        result = table10_alt_bdd.run(
+            datasets=["cora"], scale=TINY, n_seeds=2, metrics=("cosine",)
+        )
+        assert len(result["rows"]) == 5  # BDD + 4 variants
+
+    def test_table11(self):
+        result = table11_alt_similarity.run(
+            datasets=["cora"], scale=TINY, n_seeds=2
+        )
+        assert len(result["rows"]) == 4
+
+
+class TestFigureDrivers:
+    def test_fig05(self):
+        result = fig05_convergence.run(
+            settings=[("pubmed", 1e-3)], scale=TINY
+        )
+        panel = result["panels"]["pubmed"]
+        assert panel["greedy_iterations"] == len(panel["greedy"])
+        assert panel["nongreedy"][-1] <= panel["nongreedy"][0]
+
+    def test_fig06(self):
+        result = fig06_recall.run(
+            datasets=["cora"], epsilons=[1e-2, 1e-4], scale=TINY, n_seeds=3
+        )
+        series = result["panels"]["cora"]
+        assert set(series) == {
+            "LACA (C)", "LACA (E)", "LACA (w/o SNAS)",
+            "PR-Nibble", "APR-Nibble", "HK-Relax",
+        }
+        for values in series.values():
+            assert len(values) == 2
+            # Smaller ε explores at least as much → recall non-decreasing.
+            assert values[1] >= values[0] - 1e-9
+
+    def test_fig07(self):
+        result = fig07_runtime.run(datasets=["cora"], scale=TINY, n_seeds=2)
+        rows = result["panels"]["cora"]
+        assert rows[0]["method"] == "LACA (C)"
+        for row in rows:
+            assert row["online_s"] >= 0.0
+
+    def test_fig09(self):
+        result = fig09_parameters.run(
+            datasets=["cora"], scale=TINY, n_seeds=2,
+            metrics=("cosine",), alphas=[0.5, 0.8], sigmas=[0.0], ks=[8],
+        )
+        assert len(result["sweeps"]["alpha"][("cosine", "cora")]) == 2
+        assert len(result["sweeps"]["k"][("cosine", "cora")]) == 1
+
+    def test_fig10(self):
+        result = fig10_scalability.run(
+            datasets=["arxiv"], scale=TINY, n_seeds=1,
+            metrics=("cosine",), epsilons=[1e-2, 1e-4], ks=[8],
+        )
+        times = result["results"]["epsilon"][("cosine", "arxiv")]
+        assert len(times) == 2
+        assert all(value > 0 for value in times)

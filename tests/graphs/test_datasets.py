@@ -1,0 +1,77 @@
+"""Tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import (
+    ATTRIBUTED_DATASETS,
+    NON_ATTRIBUTED_DATASETS,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_eight_attributed(self):
+        assert len(ATTRIBUTED_DATASETS) == 8
+
+    def test_three_non_attributed(self):
+        assert len(NON_ATTRIBUTED_DATASETS) == 3
+
+    def test_dataset_names_filtering(self):
+        assert set(dataset_names(attributed=True)) == set(ATTRIBUTED_DATASETS)
+        assert set(dataset_names(attributed=False)) == set(NON_ATTRIBUTED_DATASETS)
+        assert len(dataset_names()) == 11
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+
+class TestLoading:
+    def test_scale_shrinks(self):
+        full = load_dataset("cora", scale=0.2, cache=False)
+        spec_n = ATTRIBUTED_DATASETS["cora"].config.n
+        assert full.n == int(round(spec_n * 0.2))
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("cora", scale=0.1)
+        b = load_dataset("cora", scale=0.1)
+        assert a is b
+
+    def test_cache_false_rebuilds(self):
+        a = load_dataset("cora", scale=0.1, cache=False)
+        b = load_dataset("cora", scale=0.1, cache=False)
+        assert a is not b
+        assert (a.adjacency != b.adjacency).nnz == 0  # still deterministic
+
+    def test_non_attributed_have_no_attrs(self):
+        graph = load_dataset("dblp", scale=0.1, cache=False)
+        assert graph.attributes is None
+
+    def test_attributed_have_attrs(self):
+        graph = load_dataset("yelp", scale=0.05, cache=False)
+        assert graph.attributes is not None
+        assert graph.d == ATTRIBUTED_DATASETS["yelp"].config.d
+
+
+class TestStatistics:
+    def test_rows_shape(self):
+        rows = dataset_statistics(["cora", "dblp"], scale=0.1)
+        assert [row["dataset"] for row in rows] == ["cora", "dblp"]
+        for row in rows:
+            assert set(row) >= {"n", "m", "m/n", "d", "|Ys|"}
+            assert row["n"] > 0
+            assert row["|Ys|"] > 0
+
+    def test_density_ordering_matches_paper(self):
+        """BlogCL/Flickr analogs must be much denser than Cora/PubMed."""
+        rows = {
+            row["dataset"]: row
+            for row in dataset_statistics(
+                ["cora", "pubmed", "blogcl", "flickr"], scale=0.3
+            )
+        }
+        assert rows["blogcl"]["m/n"] > 3 * rows["cora"]["m/n"]
+        assert rows["flickr"]["m/n"] > 3 * rows["pubmed"]["m/n"]

@@ -1,0 +1,169 @@
+"""Unit tests for the AttributedGraph substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.graph import AttributedGraph, normalize_rows
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self, rng):
+        matrix = rng.normal(size=(10, 5))
+        normalized = normalize_rows(matrix)
+        assert np.allclose(np.linalg.norm(normalized, axis=1), 1.0)
+
+    def test_zero_rows_survive(self):
+        matrix = np.array([[0.0, 0.0], [3.0, 4.0]])
+        normalized = normalize_rows(matrix)
+        assert np.allclose(normalized[0], 0.0)
+        assert np.allclose(normalized[1], [0.6, 0.8])
+
+    def test_does_not_mutate_input(self):
+        matrix = np.array([[3.0, 4.0]])
+        normalize_rows(matrix)
+        assert np.allclose(matrix, [[3.0, 4.0]])
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.n == 6
+        assert tiny_graph.m == 7
+        assert tiny_graph.d == 3
+
+    def test_degrees(self, tiny_graph):
+        assert np.allclose(tiny_graph.degrees, [2, 2, 3, 3, 2, 2])
+
+    def test_attributes_l2_normalized(self, tiny_graph):
+        norms = np.linalg.norm(tiny_graph.attributes, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_self_loops_dropped(self):
+        graph = AttributedGraph.from_edges(3, [(0, 1), (1, 1), (1, 2)])
+        assert graph.m == 2
+
+    def test_duplicate_edges_collapsed(self):
+        graph = AttributedGraph.from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert graph.m == 2
+        assert graph.adjacency.max() == 1.0
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            AttributedGraph(adjacency=sp.csr_matrix(np.ones((2, 3))))
+
+    def test_rejects_asymmetric(self):
+        adj = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 1], [0, 1, 0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            AttributedGraph(adjacency=adj)
+
+    def test_rejects_isolated_nodes(self):
+        adj = sp.csr_matrix(
+            np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float)
+        )
+        with pytest.raises(ValueError, match="isolated"):
+            AttributedGraph(adjacency=adj)
+
+    def test_rejects_wrong_attribute_rows(self):
+        with pytest.raises(ValueError, match="attribute"):
+            AttributedGraph.from_edges(3, [(0, 1), (1, 2)], attributes=np.ones((2, 4)))
+
+    def test_rejects_wrong_community_shape(self):
+        with pytest.raises(ValueError, match="communities"):
+            AttributedGraph.from_edges(
+                3, [(0, 1), (1, 2)], communities=np.array([0, 1])
+            )
+
+    def test_secondary_requires_primary(self):
+        with pytest.raises(ValueError, match="primary"):
+            AttributedGraph.from_edges(
+                3,
+                [(0, 1), (1, 2)],
+                secondary_communities=np.array([-1, 0, -1]),
+            )
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, tiny_graph):
+        assert list(tiny_graph.neighbors(2)) == [0, 1, 3]
+
+    def test_volume_whole_graph_is_2m(self, tiny_graph):
+        assert tiny_graph.volume() == 2 * tiny_graph.m
+
+    def test_volume_subset(self, tiny_graph):
+        assert tiny_graph.volume([0, 2]) == 5.0
+
+    def test_vector_volume_uses_support(self, tiny_graph):
+        vector = np.zeros(6)
+        vector[2] = 0.5
+        vector[5] = 1e-12  # non-zero counts
+        assert tiny_graph.vector_volume(vector) == 5.0
+
+    def test_degree_scalar(self, tiny_graph):
+        assert tiny_graph.degree(3) == 3.0
+
+    def test_is_attributed(self, tiny_graph, plain_graph):
+        assert tiny_graph.is_attributed
+        assert not plain_graph.is_attributed
+        assert plain_graph.d == 0
+
+
+class TestTransitionOperators:
+    def test_apply_transition_row_stochastic(self, tiny_graph):
+        # x P with x = all-ones/d gives the stationary-like spread; mass
+        # is conserved because P is row-stochastic.
+        x = np.ones(6)
+        result = tiny_graph.apply_transition(x)
+        assert np.isclose(result.sum(), x.sum())
+
+    def test_apply_transition_matches_dense(self, small_sbm, rng):
+        x = rng.random(small_sbm.n)
+        dense_p = np.diag(1.0 / small_sbm.degrees) @ small_sbm.adjacency.toarray()
+        assert np.allclose(small_sbm.apply_transition(x), x @ dense_p)
+
+    def test_selective_matches_full(self, small_sbm, rng):
+        x = np.zeros(small_sbm.n)
+        support = rng.choice(small_sbm.n, size=10, replace=False)
+        x[support] = rng.random(10)
+        full = small_sbm.apply_transition(x)
+        selective = small_sbm.apply_transition_selective(x, np.sort(support))
+        assert np.allclose(full, selective)
+
+
+class TestGroundTruth:
+    def test_cluster_contains_seed(self, tiny_graph):
+        cluster = tiny_graph.ground_truth_cluster(0)
+        assert 0 in cluster
+        assert set(cluster) == {0, 1, 2}
+
+    def test_requires_communities(self):
+        graph = AttributedGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError, match="communities"):
+            graph.ground_truth_cluster(0)
+
+    def test_secondary_membership_unions(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+        communities = np.array([0, 0, 0, 1, 1, 1])
+        secondary = np.array([1, -1, -1, -1, -1, -1])
+        graph = AttributedGraph.from_edges(
+            6, edges, communities=communities, secondary_communities=secondary
+        )
+        # Node 0 belongs to both communities: Ys spans everything.
+        assert set(graph.ground_truth_cluster(0)) == set(range(6))
+        # Node 1 only belongs to community 0, but node 0's secondary
+        # membership pulls node 0 in regardless.
+        assert set(graph.ground_truth_cluster(3)) == {0, 3, 4, 5}
+
+    def test_average_ground_truth_size(self, tiny_graph):
+        assert tiny_graph.average_ground_truth_size() == 3.0
+
+
+class TestConversions:
+    def test_to_networkx(self, tiny_graph):
+        nx_graph = tiny_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 6
+        assert nx_graph.number_of_edges() == 7
+        assert nx_graph.nodes[0]["community"] == 0
+        assert nx_graph.nodes[0]["attributes"].shape == (3,)
+
+    def test_repr_mentions_name(self, tiny_graph):
+        assert "tiny" in repr(tiny_graph)

@@ -1,0 +1,33 @@
+"""Round-trip tests for graph serialization."""
+
+import numpy as np
+
+from repro.graphs.io import load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_attributed_graph(self, tiny_graph, tmp_path):
+        path = save_graph(tiny_graph, tmp_path / "tiny")
+        assert path.suffix == ".npz"
+        loaded = load_graph(path)
+        assert loaded.n == tiny_graph.n
+        assert loaded.m == tiny_graph.m
+        assert loaded.name == "tiny"
+        assert (loaded.adjacency != tiny_graph.adjacency).nnz == 0
+        assert np.allclose(loaded.attributes, tiny_graph.attributes)
+        assert np.array_equal(loaded.communities, tiny_graph.communities)
+
+    def test_plain_graph(self, plain_graph, tmp_path):
+        path = save_graph(plain_graph, tmp_path / "plain.npz")
+        loaded = load_graph(path)
+        assert loaded.attributes is None
+        assert np.array_equal(loaded.communities, plain_graph.communities)
+
+    def test_load_without_suffix(self, tiny_graph, tmp_path):
+        save_graph(tiny_graph, tmp_path / "g")
+        loaded = load_graph(tmp_path / "g")
+        assert loaded.n == tiny_graph.n
+
+    def test_creates_parent_dirs(self, tiny_graph, tmp_path):
+        path = save_graph(tiny_graph, tmp_path / "nested" / "dir" / "g")
+        assert path.exists()

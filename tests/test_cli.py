@@ -1,0 +1,62 @@
+"""Tests for the package CLI and the experiments CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.experiments.__main__ import main as experiments_main
+from repro.graphs.io import save_graph
+
+
+class TestReproCLI:
+    def test_datasets_command(self, capsys):
+        assert cli_main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "amazon2m" in out
+
+    def test_methods_command(self, capsys):
+        assert cli_main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "LACA (C)" in out and "PR-Nibble" in out
+
+    def test_cluster_on_dataset(self, capsys):
+        code = cli_main(
+            ["cluster", "--dataset", "cora", "--scale", "0.1", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision:" in out
+        assert "conductance:" in out
+
+    def test_cluster_on_saved_graph(self, small_sbm, tmp_path, capsys):
+        path = save_graph(small_sbm, tmp_path / "g")
+        code = cli_main(
+            ["cluster", "--graph", str(path), "--seed", "0", "--size", "10",
+             "--method", "PR-Nibble"]
+        )
+        assert code == 0
+        assert "PR-Nibble" in capsys.readouterr().out
+
+    def test_cluster_requires_source(self):
+        with pytest.raises(SystemExit):
+            cli_main(["cluster", "--seed", "0"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--dataset", "cora", "--seed", "0", "--method", "X"]
+            )
+
+
+class TestExperimentsCLI:
+    def test_list(self, capsys):
+        assert experiments_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table05" in out and "fig06" in out
+
+    def test_run_driver(self, capsys):
+        assert experiments_main(["table03", "--scale", "0.1"]) == 0
+        assert "dataset statistics" in capsys.readouterr().out
+
+    def test_unknown_driver(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table99"])

@@ -1,0 +1,81 @@
+"""Failure-injection tests: behaviour under controlled corruption.
+
+Uses the corruption operators to verify the paper's robustness narrative
+end-to-end and to confirm the library degrades *gracefully* (no crashes,
+sensible outputs) under heavy damage to either signal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import LACA
+from repro.eval.harness import evaluate_method, sample_seeds
+from repro.eval.metrics import precision
+from repro.graphs.corruption import (
+    add_random_edges,
+    drop_edges,
+    mask_attributes,
+    shuffle_attributes,
+)
+
+
+def _mean_precision(graph, model, seeds) -> float:
+    values = []
+    for seed in seeds:
+        seed = int(seed)
+        truth = graph.ground_truth_cluster(seed)
+        values.append(precision(model.cluster(seed, truth.shape[0]), truth))
+    return float(np.mean(values))
+
+
+class TestEdgeCorruption:
+    def test_laca_survives_heavy_edge_noise(self, medium_sbm):
+        """Attributes anchor LACA when half the edges are random."""
+        noisy = add_random_edges(medium_sbm, 1.0)
+        seeds = sample_seeds(noisy, 8)
+        with_attrs = LACA(metric="cosine", k=16).fit(noisy)
+        without = LACA(use_snas=False).fit(noisy)
+        assert _mean_precision(noisy, with_attrs, seeds) > _mean_precision(
+            noisy, without, seeds
+        )
+
+    def test_runs_after_massive_edge_loss(self, medium_sbm):
+        sparse = drop_edges(medium_sbm, 0.7)
+        model = LACA(metric="cosine", k=16).fit(sparse)
+        cluster = model.cluster(0, 20)
+        assert cluster.shape == (20,)
+
+    def test_precision_degrades_monotonically_ish(self, medium_sbm):
+        """More corruption never *helps* substantially."""
+        seeds = sample_seeds(medium_sbm, 6)
+        model = LACA(use_snas=False)
+        clean = _mean_precision(medium_sbm, model.fit(medium_sbm), seeds)
+        heavy = _mean_precision(
+            medium_sbm, model.fit(add_random_edges(medium_sbm, 2.0)), seeds
+        )
+        assert heavy <= clean + 0.05
+
+
+class TestAttributeCorruption:
+    def test_shuffled_attributes_collapse_snas_advantage(self, medium_sbm):
+        """When attributes are nonsense, SNAS stops helping — LACA should
+        fall back toward the topology-only ablation, not below it by much."""
+        corrupted = shuffle_attributes(medium_sbm, 1.0)
+        seeds = sample_seeds(corrupted, 6)
+        with_attrs = LACA(metric="cosine", k=16).fit(corrupted)
+        without = LACA(use_snas=False).fit(corrupted)
+        gap = _mean_precision(corrupted, without, seeds) - _mean_precision(
+            corrupted, with_attrs, seeds
+        )
+        assert gap < 0.45  # degraded, but not catastrophic
+
+    def test_masking_runs_end_to_end(self, medium_sbm):
+        masked = mask_attributes(medium_sbm, 0.8)
+        model = LACA(metric="exp_cosine", k=16).fit(masked)
+        assert model.cluster(3, 15).shape == (15,)
+
+    def test_evaluation_harness_on_corrupted_graph(self, medium_sbm):
+        corrupted = drop_edges(add_random_edges(medium_sbm, 0.3), 0.3)
+        seeds = sample_seeds(corrupted, 4)
+        evaluation = evaluate_method(corrupted, "LACA (C)", seeds)
+        assert 0.0 <= evaluation.mean_precision <= 1.0
