@@ -1,0 +1,80 @@
+"""Bench: batched vs sequential multi-seed throughput (the batching win).
+
+Measures LACA seeds/sec on the Fig. 10 scalability graph (arxiv) as the
+query batch width B grows.  ``batch_size=1`` is the sequential per-seed
+online stage; larger widths answer the same seeds through the block
+diffusion engine, sharing one sparse mat-mat per iteration.  The headline
+assertion is the acceptance bar for the batching subsystem: at B=64 the
+block path must clear 3× the sequential throughput.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.core.pipeline import LACA
+from repro.graphs.datasets import load_dataset
+
+BATCH_SIZES = [1, 16, 64, 256]
+N_SEEDS = 256
+CLUSTER_SIZE = 20
+
+
+@pytest.fixture(scope="module")
+def setup(bench_scale):
+    graph = load_dataset("arxiv", scale=bench_scale)
+    # Both sides of the comparison run the same greedy engine (Algo 1 /
+    # its block form), so the ratio isolates batching itself.
+    model = LACA(LacaConfig(metric="cosine", diffusion="greedy")).fit(graph)
+    seeds = np.random.default_rng(0).choice(graph.n, size=N_SEEDS, replace=False)
+    seeds = [int(seed) for seed in seeds]
+    model.cluster_many(seeds[:8], size=CLUSTER_SIZE)  # warm caches
+    return model, seeds
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_bench_batch_throughput(benchmark, setup, batch):
+    model, seeds = setup
+    clusters = benchmark.pedantic(
+        model.cluster_many,
+        args=(seeds,),
+        kwargs={"size": CLUSTER_SIZE, "batch_size": batch},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(clusters) == N_SEEDS
+
+
+def _seeds_per_second(model, seeds, batch_size, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        model.cluster_many(seeds, size=CLUSTER_SIZE, batch_size=batch_size)
+        best = min(best, time.perf_counter() - start)
+    return len(seeds) / best
+
+
+def test_batch64_is_3x_sequential(setup):
+    """Acceptance bar: B=64 clears 3× the B=1 throughput."""
+    model, seeds = setup
+    seeds = seeds[:64]
+    sequential = _seeds_per_second(model, seeds, batch_size=1)
+    batched = _seeds_per_second(model, seeds, batch_size=64)
+    assert batched >= 3.0 * sequential, (
+        f"batched {batched:.0f} seeds/s vs sequential {sequential:.0f} seeds/s "
+        f"({batched / sequential:.2f}x < 3x)"
+    )
+
+
+def test_throughput_monotone_in_batch_width(setup):
+    """Wider blocks should never serve fewer seeds/sec than B=1 (with
+    slack for timer noise)."""
+    model, seeds = setup
+    rates = {
+        batch: _seeds_per_second(model, seeds, batch_size=batch)
+        for batch in (1, 16, 64)
+    }
+    assert rates[16] > rates[1]
+    assert rates[64] > rates[1]

@@ -33,13 +33,24 @@ from .graphs import AttributedGraph, load_dataset, dataset_names
 from .attributes import build_tnam, snas_matrix, TNAM
 from .diffusion import (
     adaptive_diffuse,
+    batch_adaptive_diffuse,
+    batch_diffuse,
+    batch_greedy_diffuse,
+    batch_nongreedy_diffuse,
     exact_diffusion,
     exact_rwr,
     greedy_diffuse,
     nongreedy_diffuse,
     push_diffuse,
 )
-from .core import LACA, LacaConfig, exact_bdd, laca_scores, top_k_cluster
+from .core import (
+    LACA,
+    LacaConfig,
+    exact_bdd,
+    laca_scores,
+    laca_scores_batch,
+    top_k_cluster,
+)
 from .baselines import make_method, method_names
 from .eval import evaluate_method, precision, recall, conductance, wcss, sample_seeds
 
@@ -53,6 +64,10 @@ __all__ = [
     "snas_matrix",
     "TNAM",
     "adaptive_diffuse",
+    "batch_adaptive_diffuse",
+    "batch_diffuse",
+    "batch_greedy_diffuse",
+    "batch_nongreedy_diffuse",
     "exact_diffusion",
     "exact_rwr",
     "greedy_diffuse",
@@ -62,6 +77,7 @@ __all__ = [
     "LacaConfig",
     "exact_bdd",
     "laca_scores",
+    "laca_scores_batch",
     "top_k_cluster",
     "make_method",
     "method_names",

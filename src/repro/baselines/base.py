@@ -62,5 +62,19 @@ class LocalClusteringMethod(abc.ABC):
         scores = self.score_vector(seed)
         return top_k_cluster(scores, size, seed)
 
+    def cluster_batch(self, seeds, sizes) -> list[np.ndarray]:
+        """Answer many seed queries at once; element ``b`` is the cluster
+        of ``seeds[b]`` at size ``sizes[b]``.
+
+        The default loops over :meth:`cluster`; methods with a batched
+        scoring path (LACA's block diffusion) override this so the whole
+        batch shares each sparse mat-mat.
+        """
+        if len(seeds) != len(sizes):
+            raise ValueError(
+                f"got {len(seeds)} seeds but {len(sizes)} cluster sizes"
+            )
+        return [self.cluster(int(seed), int(size)) for seed, size in zip(seeds, sizes)]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

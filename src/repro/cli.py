@@ -12,6 +12,10 @@ Cluster with LACA on a registered dataset::
     python -m repro cluster --dataset cora --seed 42
     python -m repro cluster --dataset yelp --seed 7 --method "SimAttr (C)"
 
+Answer many seeds in one batched query (block diffusion)::
+
+    python -m repro cluster --dataset cora --seed 3 14 159 --batch
+
 Cluster on your own saved graph (see ``repro.graphs.io``)::
 
     python -m repro cluster --graph mygraph.npz --seed 0 --size 50
@@ -20,6 +24,7 @@ Cluster on your own saved graph (see ``repro.graphs.io``)::
 from __future__ import annotations
 
 import argparse
+import time
 
 import numpy as np
 
@@ -53,21 +58,26 @@ def _cmd_cluster(args) -> int:
     else:
         raise SystemExit("provide --dataset <name> or --graph <path.npz>")
 
+    seeds = args.seed
+    if len(seeds) > 1 or args.batch:
+        return _cluster_batch(graph, seeds, args)
+
+    seed = seeds[0]
     size = args.size
     truth = None
     if size is None:
         if graph.communities is None:
             raise SystemExit("--size is required for graphs without ground truth")
-        truth = graph.ground_truth_cluster(args.seed)
+        truth = graph.ground_truth_cluster(seed)
         size = truth.shape[0]
     elif graph.communities is not None:
-        truth = graph.ground_truth_cluster(args.seed)
+        truth = graph.ground_truth_cluster(seed)
 
     method = make_method(args.method).fit(graph)
-    cluster = method.cluster(args.seed, size)
+    cluster = method.cluster(seed, size)
 
     print(f"graph: {graph.name} (n={graph.n}, m={graph.m}, d={graph.d})")
-    print(f"method: {args.method}, seed: {args.seed}, cluster size: {size}")
+    print(f"method: {args.method}, seed: {seed}, cluster size: {size}")
     print(f"conductance: {conductance(graph, cluster):.4f}")
     if truth is not None:
         print(f"precision: {precision(cluster, truth):.4f}")
@@ -75,6 +85,43 @@ def _cmd_cluster(args) -> int:
     shown = ", ".join(str(int(node)) for node in cluster[: args.show])
     suffix = " ..." if cluster.shape[0] > args.show else ""
     print(f"members: {shown}{suffix}")
+    return 0
+
+
+def _cluster_batch(graph, seeds: list[int], args) -> int:
+    """Answer several seeds in one batched query and print a summary."""
+    truths = {}
+    if graph.communities is not None:
+        truths = {seed: graph.ground_truth_cluster(seed) for seed in seeds}
+    if args.size is None:
+        if not truths:
+            raise SystemExit("--size is required for graphs without ground truth")
+        sizes = [truths[seed].shape[0] for seed in seeds]
+    else:
+        sizes = [args.size] * len(seeds)
+
+    method = make_method(args.method).fit(graph)
+    start = time.perf_counter()
+    clusters = method.cluster_batch(seeds, sizes)
+    elapsed = time.perf_counter() - start
+
+    print(f"graph: {graph.name} (n={graph.n}, m={graph.m}, d={graph.d})")
+    plural = "s" if len(seeds) != 1 else ""
+    print(f"method: {args.method}, batched query over {len(seeds)} seed{plural}")
+    for seed, size, cluster in zip(seeds, sizes, clusters):
+        line = f"seed {seed:>6d}  size {size:>5d}  conductance {conductance(graph, cluster):.4f}"
+        if seed in truths:
+            line += (
+                f"  precision {precision(cluster, truths[seed]):.4f}"
+                f"  recall {recall(cluster, truths[seed]):.4f}"
+            )
+        print(line)
+        if args.show > 0:
+            shown = ", ".join(str(int(node)) for node in cluster[: args.show])
+            suffix = " ..." if cluster.shape[0] > args.show else ""
+            print(f"        members: {shown}{suffix}")
+    rate = len(seeds) / elapsed if elapsed > 0 else float("inf")
+    print(f"online: {elapsed:.4f}s total, throughput {rate:.1f} seeds/s")
     return 0
 
 
@@ -91,10 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--dataset", choices=dataset_names(), default=None)
     cluster.add_argument("--graph", default=None, help="path to a saved .npz graph")
     cluster.add_argument("--scale", type=float, default=1.0)
-    cluster.add_argument("--seed", type=int, required=True)
+    cluster.add_argument(
+        "--seed", type=int, nargs="+", required=True,
+        help="seed node(s); several seeds are answered as one batch",
+    )
     cluster.add_argument("--size", type=int, default=None)
     cluster.add_argument("--method", default="LACA (C)", choices=method_names())
     cluster.add_argument("--show", type=int, default=20, help="members to print")
+    cluster.add_argument(
+        "--batch", action="store_true",
+        help="use the batched query path even for a single seed",
+    )
     return parser
 
 

@@ -7,7 +7,14 @@ from .bdd import (
     exact_bdd_via_transform,
 )
 from .config import LacaConfig
-from .laca import LacaResult, extract_cluster, laca_scores, top_k_cluster
+from .laca import (
+    LacaBatchResult,
+    LacaResult,
+    extract_cluster,
+    laca_scores,
+    laca_scores_batch,
+    top_k_cluster,
+)
 from .pipeline import LACA
 from .sweep import SweepResult, sweep_cut
 from .gnn import bdd_from_embeddings, denoising_objective, smoothed_embeddings
@@ -20,8 +27,10 @@ __all__ = [
     "exact_bdd_via_transform",
     "LacaConfig",
     "LacaResult",
+    "LacaBatchResult",
     "extract_cluster",
     "laca_scores",
+    "laca_scores_batch",
     "top_k_cluster",
     "LACA",
     "SweepResult",

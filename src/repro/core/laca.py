@@ -17,13 +17,21 @@ import numpy as np
 from ..attributes.tnam import TNAM
 from ..diffusion.adaptive import adaptive_diffuse
 from ..diffusion.base import DiffusionResult
+from ..diffusion.batch import BatchDiffusionResult, batch_diffuse
 from ..diffusion.greedy import greedy_diffuse
 from ..diffusion.nongreedy import nongreedy_diffuse
 from ..diffusion.push import push_diffuse
 from ..graphs.graph import AttributedGraph
 from .config import LacaConfig
 
-__all__ = ["LacaResult", "laca_scores", "extract_cluster", "top_k_cluster"]
+__all__ = [
+    "LacaResult",
+    "LacaBatchResult",
+    "laca_scores",
+    "laca_scores_batch",
+    "extract_cluster",
+    "top_k_cluster",
+]
 
 
 @dataclass
@@ -135,20 +143,184 @@ def laca_scores(
     )
 
 
+@dataclass
+class LacaBatchResult:
+    """Scores and diagnostics from one batched LACA run over ``B`` seeds.
+
+    ``scores`` stacks the per-seed approximate BDD vectors ρ′ as columns;
+    column ``b`` answers ``seeds[b]``.  Diagnostics expose the two block
+    diffusions (``bdd`` is None when every column had zero SNAS mass).
+    """
+
+    scores: np.ndarray
+    seeds: np.ndarray
+    rwr: BatchDiffusionResult
+    bdd: BatchDiffusionResult | None
+    psi: np.ndarray | None
+
+    @property
+    def n_queries(self) -> int:
+        return self.seeds.shape[0]
+
+    def support_sizes(self) -> np.ndarray:
+        """Per-query count of nodes the diffusion actually touched."""
+        return np.count_nonzero(self.scores, axis=0)
+
+    def column(self, b: int) -> np.ndarray:
+        """The ρ′ vector of query ``b`` (a copy-free column view)."""
+        return self.scores[:, b]
+
+    def cluster(self, b: int, size: int) -> np.ndarray:
+        """Top-``size`` nodes of query ``b`` (its seed always included)."""
+        return top_k_cluster(self.scores[:, b], size, int(self.seeds[b]))
+
+
+def _batch_diffuse_cfg(
+    graph: AttributedGraph, F: np.ndarray, config: LacaConfig, epsilon
+) -> BatchDiffusionResult:
+    return batch_diffuse(
+        graph,
+        F,
+        alpha=config.alpha,
+        epsilon=epsilon,
+        engine=config.diffusion,
+        sigma=config.sigma,
+    )
+
+
+def laca_scores_batch(
+    graph: AttributedGraph,
+    seeds,
+    config: LacaConfig | None = None,
+    tnam: TNAM | None = None,
+) -> LacaBatchResult:
+    """Run Algo 4 for many seeds at once via block diffusion.
+
+    Column ``b`` of the result matches ``laca_scores(graph, seeds[b])``
+    run with the same config — exactly on non-SNAS graphs, and up to
+    floating-point accumulation order on the SNAS path, where Step 2's
+    batched mat-mats sum over all ``n`` rows instead of each column's
+    support slice (O(1e-16) relative noise; the diffusion schedules
+    themselves are identical).  Step 1 diffuses all one-hot seed
+    columns as one ``n × B`` block, Step 2 computes every ψ via one
+    ``Πᵀ Z`` mat-mat and every φ′ via one ``Z Ψᵀ`` mat-mat
+    (Eqs. 12/13), and Step 3 block-diffuses Φ′ with per-column
+    thresholds ``ε·‖φ′_b‖₁``.
+    Duplicate seeds are answered independently (identical columns); a
+    ``"push"`` diffusion config degrades to a per-column loop because the
+    queue-based engine has no block form.
+    """
+    config = config or LacaConfig()
+    config.validate()
+    seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
+    if seeds.size and not (0 <= seeds.min() and seeds.max() < graph.n):
+        bad = seeds[(seeds < 0) | (seeds >= graph.n)][0]
+        raise IndexError(f"seed {bad} out of range for n={graph.n}")
+    use_snas = config.use_snas and graph.attributes is not None
+    if use_snas and tnam is None:
+        raise ValueError(
+            "laca_scores_batch needs the TNAM from build_tnam() when "
+            "use_snas=True; use LACA (the pipeline class) to manage "
+            "preprocessing"
+        )
+    n, n_queries = graph.n, seeds.shape[0]
+    degrees = graph.degrees
+
+    # Step 1 (block): estimate every RWR vector π′ in one diffusion of
+    # the column-stacked one-hot seeds.
+    F = np.zeros((n, n_queries))
+    F[seeds, np.arange(n_queries)] = 1.0
+    rwr_result = _batch_diffuse_cfg(graph, F, config, config.epsilon)
+    Pi = rwr_result.q
+
+    # Step 2 (block): Ψ = Πᵀ Z (Eq. 12, one mat-mat for every column's
+    # support sum) and Φ′ = relu(Z Ψᵀ) ⊙ d restricted to each column's
+    # own support (Eq. 13).
+    psi = None
+    if use_snas:
+        psi = Pi.T @ tnam.z
+        Phi = np.maximum(tnam.z @ psi.T, 0.0) * degrees[:, None]
+        Phi[Pi == 0.0] = 0.0
+    else:
+        Phi = Pi * degrees[:, None]
+
+    # Step 3 (block): diffuse the surviving Φ′ columns with per-column
+    # thresholds ε·‖φ′_b‖₁ and divide by degrees.  Zero-mass columns
+    # (no positive SNAS mass on the support) keep all-zero scores.
+    masses = Phi.sum(axis=0)
+    live = np.flatnonzero(masses > 0.0)
+    scores = np.zeros((n, n_queries))
+    bdd_result = None
+    if live.size:
+        bdd_result = _batch_diffuse_cfg(
+            graph, Phi[:, live], config, config.epsilon * masses[live]
+        )
+        if live.size < n_queries:
+            bdd_result = _expand_columns(bdd_result, live, n_queries)
+        scores = bdd_result.q / degrees[:, None]
+    return LacaBatchResult(
+        scores=scores, seeds=seeds, rwr=rwr_result, bdd=bdd_result, psi=psi
+    )
+
+
+def _expand_columns(
+    result: BatchDiffusionResult, live: np.ndarray, n_queries: int
+) -> BatchDiffusionResult:
+    """Re-insert retired all-zero columns so diagnostics align with seeds."""
+    n = result.q.shape[0]
+    q = np.zeros((n, n_queries))
+    residual = np.zeros((n, n_queries))
+    column_iterations = np.zeros(n_queries, dtype=np.int64)
+    greedy_steps = np.zeros(n_queries, dtype=np.int64)
+    nongreedy_steps = np.zeros(n_queries, dtype=np.int64)
+    work = np.zeros(n_queries)
+    q[:, live] = result.q
+    residual[:, live] = result.residual
+    column_iterations[live] = result.column_iterations
+    greedy_steps[live] = result.greedy_steps
+    nongreedy_steps[live] = result.nongreedy_steps
+    work[live] = result.work
+    return BatchDiffusionResult(
+        q=q,
+        residual=residual,
+        iterations=result.iterations,
+        column_iterations=column_iterations,
+        greedy_steps=greedy_steps,
+        nongreedy_steps=nongreedy_steps,
+        work=work,
+        residual_history=result.residual_history,
+    )
+
+
 def top_k_cluster(scores: np.ndarray, size: int, seed: int) -> np.ndarray:
     """Top-``size`` nodes by score with the seed forced into the cluster.
 
-    Ties and zero scores are broken deterministically by node index so
-    experiments are reproducible.
+    Ties and zero scores are broken deterministically by node index
+    (lower index wins a tie) so experiments are reproducible.  When the
+    seed is not among the top-``size`` nodes it is force-inserted and
+    displaces the *lowest-ranked* retained node — the lowest-scoring
+    one, breaking score ties by dropping the highest index.
+
+    Selection runs in O(n) via a partition (the per-query hot path)
+    rather than a full O(n log n) sort.
     """
     if size <= 0:
         raise ValueError(f"cluster size must be positive, got {size}")
-    size = min(size, scores.shape[0])
-    # argsort on (-score, index): stable sort on index then score.
-    order = np.lexsort((np.arange(scores.shape[0]), -scores))
-    cluster = order[:size]
-    if seed not in cluster:
-        cluster = np.concatenate([[seed], cluster[: size - 1]])
+    n = scores.shape[0]
+    size = min(size, n)
+    if size == n:
+        return np.arange(n)
+    # size-th largest value; everything strictly above it is retained,
+    # the remaining slots go to boundary ties in ascending-index order.
+    kth = scores[np.argpartition(scores, n - size)[n - size :]].min()
+    above = np.flatnonzero(scores > kth)
+    tied = np.flatnonzero(scores == kth)
+    if seed in above or seed in tied[: size - above.size]:
+        cluster = np.concatenate([above, tied[: size - above.size]])
+    else:
+        # Force-insert the seed; drop the lowest-ranked retained node
+        # (the last boundary tie, i.e. the highest-index lowest-scorer).
+        cluster = np.concatenate([[seed], above, tied[: size - above.size - 1]])
     return np.sort(cluster)
 
 

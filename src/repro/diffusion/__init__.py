@@ -1,6 +1,14 @@
 """RWR-based graph diffusion algorithms (Section IV of the paper)."""
 
 from .base import DiffusionResult, validate_diffusion_inputs
+from .batch import (
+    BatchDiffusionResult,
+    batch_adaptive_diffuse,
+    batch_diffuse,
+    batch_greedy_diffuse,
+    batch_nongreedy_diffuse,
+    validate_batch_inputs,
+)
 from .exact import exact_diffusion, exact_rwr, rwr_matrix
 from .greedy import greedy_diffuse
 from .nongreedy import nongreedy_diffuse
@@ -9,7 +17,9 @@ from .push import push_diffuse
 
 __all__ = [
     "DiffusionResult",
+    "BatchDiffusionResult",
     "validate_diffusion_inputs",
+    "validate_batch_inputs",
     "exact_diffusion",
     "exact_rwr",
     "rwr_matrix",
@@ -17,4 +27,8 @@ __all__ = [
     "nongreedy_diffuse",
     "adaptive_diffuse",
     "push_diffuse",
+    "batch_diffuse",
+    "batch_greedy_diffuse",
+    "batch_nongreedy_diffuse",
+    "batch_adaptive_diffuse",
 ]

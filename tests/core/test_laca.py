@@ -39,6 +39,68 @@ class TestTopKCluster:
         assert list(cluster) == sorted(cluster)
 
 
+class TestForcedSeedInsertion:
+    """Regression: force-inserting the seed must displace exactly the
+    lowest-scoring retained node, with deterministic tie handling."""
+
+    def test_displaces_lowest_scoring_retained_node(self):
+        scores = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        cluster = top_k_cluster(scores, 3, seed=4)
+        # Node 2 (score 3.0, lowest of the retained top-3) is displaced.
+        assert list(cluster) == [0, 1, 4]
+
+    def test_displacement_with_boundary_ties(self):
+        # Top-4 is [0, 1] plus two of the three zero-tied nodes {2, 3, 4}
+        # (lowest indices win): [0, 1, 2, 3].  Forcing seed 4 displaces
+        # node 3, the highest-index member of the included tie group.
+        scores = np.array([3.0, 2.0, 0.0, 0.0, 0.0])
+        cluster = top_k_cluster(scores, 4, seed=4)
+        assert list(cluster) == [0, 1, 2, 4]
+
+    def test_all_tied_displacement(self):
+        scores = np.ones(4)
+        cluster = top_k_cluster(scores, 2, seed=3)
+        # Retained ties [0, 1]; node 1 (higher index) is displaced.
+        assert list(cluster) == [0, 3]
+
+    def test_seed_tied_with_boundary_is_not_duplicated(self):
+        scores = np.array([2.0, 1.0, 1.0])
+        cluster = top_k_cluster(scores, 2, seed=2)
+        assert list(cluster) == [0, 2]
+        assert np.unique(cluster).shape[0] == cluster.shape[0]
+
+    def test_seed_already_included_changes_nothing(self):
+        scores = np.array([5.0, 4.0, 3.0, 2.0])
+        assert list(top_k_cluster(scores, 2, seed=1)) == [0, 1]
+
+    def test_full_size_always_contains_seed(self):
+        scores = np.array([0.3, 0.2, 0.1])
+        assert list(top_k_cluster(scores, 3, seed=2)) == [0, 1, 2]
+
+    def test_matches_lexsort_reference(self):
+        """Pin against the O(n log n) reference on randomized tie-heavy
+        inputs (the partition fast path must be semantics-preserving)."""
+
+        def reference(scores, size, seed):
+            size = min(size, scores.shape[0])
+            order = np.lexsort((np.arange(scores.shape[0]), -scores))
+            cluster = order[:size]
+            if seed not in cluster:
+                cluster = np.concatenate([[seed], cluster[: size - 1]])
+            return np.sort(cluster)
+
+        rng = np.random.default_rng(12)
+        for _ in range(300):
+            n = int(rng.integers(2, 30))
+            scores = np.round(rng.random(n), 1)
+            scores[rng.random(n) < 0.5] = 0.0
+            size = int(rng.integers(1, n + 1))
+            seed = int(rng.integers(n))
+            np.testing.assert_array_equal(
+                top_k_cluster(scores, size, seed), reference(scores, size, seed)
+            )
+
+
 class TestApproximationGuarantee:
     def test_theorem_v4_bound(self, small_sbm):
         """0 ≤ ρ_t − ρ′_t ≤ (1 + Σ d(vi)·max_j s(vi,vj))·ε when the TNAM

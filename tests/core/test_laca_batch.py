@@ -1,0 +1,203 @@
+"""Tests for the batched LACA path: laca_scores_batch and the pipeline.
+
+The batched path must be an *equivalent reformulation*, not an
+approximation: per-seed scores match the sequential ``laca_scores`` to
+float-accumulation noise and the extracted clusters match exactly,
+including the edge cases (B=1, duplicate seeds, zero-φ′ columns,
+non-attributed graphs) and across every registered synthetic dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attributes.tnam import TNAM
+from repro.core.config import LacaConfig
+from repro.core.laca import laca_scores, laca_scores_batch
+from repro.core.pipeline import LACA
+from repro.graphs.datasets import dataset_names, load_dataset
+
+#: Step 2's batched mat-mats accumulate in a different (BLAS) order than
+#: the sequential support-sliced products, so scores carry O(1e-16)
+#: noise; everything downstream of identical diffusion schedules agrees
+#: to this tolerance.
+ATOL = 1e-12
+
+ENGINES = ["greedy", "nongreedy", "adaptive", "push"]
+
+
+def _config(engine="greedy", **overrides):
+    overrides.setdefault("k", 8)
+    return LacaConfig(metric="cosine", diffusion=engine, **overrides)
+
+
+def _fit(graph, config):
+    return LACA(config).fit(graph)
+
+
+class TestScoresParity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_columns_match_sequential(self, small_sbm, engine):
+        config = _config(engine)
+        model = _fit(small_sbm, config)
+        seeds = [0, 5, 33, 60]
+        batch = laca_scores_batch(small_sbm, seeds, config=config, tnam=model.tnam)
+        for b, seed in enumerate(seeds):
+            seq = laca_scores(small_sbm, seed, config=config, tnam=model.tnam)
+            np.testing.assert_allclose(
+                batch.scores[:, b], seq.scores, rtol=0, atol=ATOL
+            )
+
+    def test_single_seed_batch(self, small_sbm):
+        config = _config()
+        model = _fit(small_sbm, config)
+        batch = laca_scores_batch(small_sbm, [7], config=config, tnam=model.tnam)
+        seq = laca_scores(small_sbm, 7, config=config, tnam=model.tnam)
+        assert batch.n_queries == 1
+        np.testing.assert_allclose(batch.scores[:, 0], seq.scores, rtol=0, atol=ATOL)
+
+    def test_duplicate_seeds_identical_columns(self, small_sbm):
+        config = _config()
+        model = _fit(small_sbm, config)
+        batch = laca_scores_batch(
+            small_sbm, [9, 9, 41, 9], config=config, tnam=model.tnam
+        )
+        np.testing.assert_array_equal(batch.scores[:, 0], batch.scores[:, 1])
+        np.testing.assert_array_equal(batch.scores[:, 0], batch.scores[:, 3])
+
+    def test_non_attributed_graph(self, plain_graph):
+        config = _config()
+        seeds = [0, 10, 55]
+        batch = laca_scores_batch(plain_graph, seeds, config=config)
+        for b, seed in enumerate(seeds):
+            seq = laca_scores(plain_graph, seed, config=config)
+            np.testing.assert_allclose(
+                batch.scores[:, b], seq.scores, rtol=0, atol=ATOL
+            )
+
+    def test_without_snas(self, small_sbm):
+        config = _config(use_snas=False)
+        seeds = [2, 8]
+        batch = laca_scores_batch(small_sbm, seeds, config=config)
+        for b, seed in enumerate(seeds):
+            seq = laca_scores(small_sbm, seed, config=config)
+            np.testing.assert_allclose(
+                batch.scores[:, b], seq.scores, rtol=0, atol=ATOL
+            )
+
+
+class TestZeroMassColumns:
+    """Seeds whose entire RWR support has zero TNAM rows get ψ = 0 and
+    hence φ′ = 0 (Eq. 13): their Step 3 must be skipped, yielding
+    all-zero scores, without disturbing live columns."""
+
+    @pytest.fixture()
+    def two_triangles(self):
+        """Two *disconnected* triangles, so seed supports never mix."""
+        from repro.graphs.graph import AttributedGraph
+
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        attrs = np.eye(6, 3, dtype=float).repeat(2, axis=0)[:6]
+        communities = np.array([0, 0, 0, 1, 1, 1])
+        return AttributedGraph.from_edges(
+            6, edges, attributes=attrs, communities=communities, name="triangles"
+        )
+
+    def _tnam(self, n, dead_nodes):
+        z = np.ones((n, 2))
+        z[dead_nodes] = 0.0
+        return TNAM(z=z, metric="cosine", k=2)
+
+    def test_zero_phi_column_among_live_ones(self, two_triangles):
+        config = LacaConfig(metric="cosine", k=2, diffusion="greedy", epsilon=1e-3)
+        tnam = self._tnam(two_triangles.n, dead_nodes=[0, 1, 2])
+        seeds = [0, 4]
+        batch = laca_scores_batch(two_triangles, seeds, config=config, tnam=tnam)
+        for b, seed in enumerate(seeds):
+            seq = laca_scores(two_triangles, seed, config=config, tnam=tnam)
+            np.testing.assert_allclose(
+                batch.scores[:, b], seq.scores, rtol=0, atol=ATOL
+            )
+        assert batch.scores[:, 0].sum() == 0.0
+        assert batch.scores[:, 1].sum() > 0.0
+        assert batch.support_sizes()[0] == 0
+        # Diagnostics for the dead column are all-zero but still aligned.
+        assert batch.bdd is not None
+        assert batch.bdd.column_iterations[0] == 0
+        assert batch.bdd.column_iterations[1] > 0
+
+    def test_all_columns_zero_mass(self, two_triangles):
+        config = LacaConfig(metric="cosine", k=2, diffusion="greedy", epsilon=1e-3)
+        tnam = self._tnam(two_triangles.n, dead_nodes=list(range(6)))
+        batch = laca_scores_batch(two_triangles, [0, 3], config=config, tnam=tnam)
+        assert batch.bdd is None
+        assert batch.scores.sum() == 0.0
+        # Clusters still contain the forced seed plus index-order filler.
+        cluster = batch.cluster(0, 3)
+        assert 0 in cluster
+
+
+class TestClusterEquality:
+    def test_clusters_equal_sequential_cluster_many(self, medium_sbm):
+        """Batch clusters == per-seed sequential clusters for every seed."""
+        config = _config("greedy", k=16)
+        model = _fit(medium_sbm, config)
+        rng = np.random.default_rng(3)
+        seeds = [int(s) for s in rng.choice(medium_sbm.n, size=12, replace=False)]
+        batched = model.cluster_many(seeds)
+        sequential = model.cluster_many(seeds, batch_size=1)
+        assert set(batched) == set(sequential)
+        for seed in seeds:
+            np.testing.assert_array_equal(batched[seed], sequential[seed])
+
+    @pytest.mark.parametrize("dataset", dataset_names())
+    def test_registered_datasets_identical_clusters(self, dataset):
+        """Acceptance bar: batch == sequential on every registered dataset."""
+        graph = load_dataset(dataset, scale=0.05)
+        config = _config("greedy", k=8)
+        model = _fit(graph, config)
+        rng = np.random.default_rng(0)
+        seeds = [int(s) for s in rng.choice(graph.n, size=4, replace=False)]
+        batch = model.scores_batch(seeds)
+        for b, seed in enumerate(seeds):
+            size = graph.ground_truth_cluster(seed).shape[0]
+            np.testing.assert_array_equal(
+                batch.cluster(b, size), model.cluster(seed, size)
+            )
+
+
+class TestPipelineBatchAPI:
+    def test_scores_batch_requires_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            LACA().scores_batch([0])
+
+    def test_chunked_equals_single_block(self, small_sbm):
+        model = _fit(small_sbm, _config("greedy"))
+        seeds = [0, 5, 9, 33, 60]
+        whole = model.cluster_many(seeds, size=12)
+        chunked = model.cluster_many(seeds, size=12, batch_size=2)
+        for seed in seeds:
+            np.testing.assert_array_equal(whole[seed], chunked[seed])
+
+    def test_invalid_batch_size(self, small_sbm):
+        model = _fit(small_sbm, _config("greedy"))
+        with pytest.raises(ValueError, match="batch_size"):
+            model.cluster_many([0, 1], size=5, batch_size=0)
+
+    def test_out_of_range_seed(self, small_sbm):
+        model = _fit(small_sbm, _config("greedy"))
+        with pytest.raises(IndexError, match="out of range"):
+            model.scores_batch([0, small_sbm.n])
+
+    def test_missing_tnam_rejected(self, small_sbm):
+        with pytest.raises(ValueError, match="TNAM"):
+            laca_scores_batch(small_sbm, [0], config=_config("greedy"))
+
+    def test_batch_result_diagnostics(self, small_sbm):
+        model = _fit(small_sbm, _config("greedy"))
+        seeds = [0, 5]
+        result = model.scores_batch(seeds)
+        assert result.rwr.n_columns == 2
+        assert result.bdd is not None
+        assert result.psi is not None and result.psi.shape[0] == 2
+        assert (result.support_sizes() > 0).all()
+        np.testing.assert_array_equal(result.column(1), result.scores[:, 1])

@@ -36,6 +36,32 @@ class TestReproCLI:
         assert code == 0
         assert "PR-Nibble" in capsys.readouterr().out
 
+    def test_cluster_batch_multiple_seeds(self, capsys):
+        code = cli_main(
+            ["cluster", "--dataset", "cora", "--scale", "0.1",
+             "--seed", "0", "7", "23", "--batch"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched query over 3 seeds" in out
+        assert "throughput" in out
+        assert out.count("precision") == 3
+
+    def test_cluster_multiple_seeds_implies_batch(self, capsys):
+        code = cli_main(
+            ["cluster", "--dataset", "cora", "--scale", "0.1", "--seed", "1", "2"]
+        )
+        assert code == 0
+        assert "batched query over 2 seeds" in capsys.readouterr().out
+
+    def test_cluster_batch_on_saved_graph_needs_size(self, small_sbm, tmp_path):
+        from repro.graphs.graph import AttributedGraph
+
+        bare = AttributedGraph(adjacency=small_sbm.adjacency)
+        path = save_graph(bare, tmp_path / "bare")
+        with pytest.raises(SystemExit, match="--size"):
+            cli_main(["cluster", "--graph", str(path), "--seed", "0", "1"])
+
     def test_cluster_requires_source(self):
         with pytest.raises(SystemExit):
             cli_main(["cluster", "--seed", "0"])
