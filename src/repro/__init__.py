@@ -25,6 +25,8 @@ Subpackages
     k-means, spectral clustering, DBSCAN substrate (no sklearn).
 ``repro.eval``
     Metrics, experiment harness, reporting.
+``repro.serving``
+    Model persistence, micro-batching query scheduler, result cache.
 ``repro.experiments``
     One driver per paper table/figure (see DESIGN.md §4).
 """
@@ -53,6 +55,7 @@ from .core import (
 )
 from .baselines import make_method, method_names
 from .eval import evaluate_method, precision, recall, conductance, wcss, sample_seeds
+from .serving import ClusterService, ModelRegistry, load_model, save_model
 
 __version__ = "1.0.0"
 
@@ -87,4 +90,8 @@ __all__ = [
     "conductance",
     "wcss",
     "sample_seeds",
+    "ClusterService",
+    "ModelRegistry",
+    "load_model",
+    "save_model",
 ]

@@ -62,6 +62,16 @@ class LocalClusteringMethod(abc.ABC):
         scores = self.score_vector(seed)
         return top_k_cluster(scores, size, seed)
 
+    def score_vector_batch(self, seeds) -> list[np.ndarray]:
+        """Score vectors for many seeds; element ``b`` answers ``seeds[b]``.
+
+        The default loops over :meth:`score_vector`; methods with a
+        batched scoring path (LACA's block diffusion) override this so
+        callers that need full score vectors — not just extracted
+        clusters — still share each sparse mat-mat.
+        """
+        return [self.score_vector(int(seed)) for seed in seeds]
+
     def cluster_batch(self, seeds, sizes) -> list[np.ndarray]:
         """Answer many seed queries at once; element ``b`` is the cluster
         of ``seeds[b]`` at size ``sizes[b]``.

@@ -47,6 +47,10 @@ class _LacaAdapter(LocalClusteringMethod):
     def score_vector(self, seed: int):
         return self.model.score_vector(seed)
 
+    def score_vector_batch(self, seeds):
+        result = self.model.scores_batch(seeds)
+        return [result.column(b) for b in range(len(seeds))]
+
     def cluster_batch(self, seeds, sizes):
         if len(seeds) != len(sizes):
             raise ValueError(

@@ -19,16 +19,27 @@ Answer many seeds in one batched query (block diffusion)::
 Cluster on your own saved graph (see ``repro.graphs.io``)::
 
     python -m repro cluster --graph mygraph.npz --seed 0 --size 50
+
+Serve seed queries through the micro-batching scheduler, one JSON result
+per line (queries are ``seed [size]`` lines on stdin or in a file)::
+
+    python -m repro serve --dataset cora --queries queries.txt
+    echo "42" | python -m repro serve --dataset cora --stats
+    python -m repro serve --graph g.npz --model m.npz --size 50
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 import time
 
 import numpy as np
 
+from .baselines.base import LocalClusteringMethod
 from .baselines.registry import make_method, method_names
+from .core.laca import top_k_cluster
 from .eval.metrics import conductance, precision, recall
 from .graphs.datasets import dataset_names, dataset_statistics, load_dataset
 from .graphs.io import load_graph
@@ -50,13 +61,16 @@ def _cmd_methods(_args) -> int:
     return 0
 
 
-def _cmd_cluster(args) -> int:
+def _load_cli_graph(args):
     if args.graph:
-        graph = load_graph(args.graph)
-    elif args.dataset:
-        graph = load_dataset(args.dataset, scale=args.scale)
-    else:
-        raise SystemExit("provide --dataset <name> or --graph <path.npz>")
+        return load_graph(args.graph)
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    raise SystemExit("provide --dataset <name> or --graph <path.npz>")
+
+
+def _cmd_cluster(args) -> int:
+    graph = _load_cli_graph(args)
 
     seeds = args.seed
     if len(seeds) > 1 or args.batch:
@@ -74,6 +88,11 @@ def _cmd_cluster(args) -> int:
         truth = graph.ground_truth_cluster(seed)
 
     method = make_method(args.method).fit(graph)
+    if args.json:
+        truths = {seed: truth} if truth is not None else {}
+        record, = _json_records(graph, method, [seed], [size], truths)
+        print(json.dumps(record))
+        return 0
     cluster = method.cluster(seed, size)
 
     print(f"graph: {graph.name} (n={graph.n}, m={graph.m}, d={graph.d})")
@@ -86,6 +105,49 @@ def _cmd_cluster(args) -> int:
     suffix = " ..." if cluster.shape[0] > args.show else ""
     print(f"members: {shown}{suffix}")
     return 0
+
+
+def _json_records(graph, method, seeds, sizes, truths) -> list[dict]:
+    """Machine-readable result rows (the ``--json`` output format).
+
+    Ranking methods derive members *and* member scores from a single
+    (batched) scoring pass; methods that override ``cluster`` with a
+    non-ranking extraction keep their extraction and pay one extra
+    scoring pass, outside the timed window, for the score report.  The
+    timed window is split evenly over seeds, the harness's batched
+    convention.
+    """
+    ranked = type(method).cluster is LocalClusteringMethod.cluster
+    start = time.perf_counter()
+    if ranked:
+        vectors = method.score_vector_batch(seeds)
+        clusters = [
+            top_k_cluster(vector, size, seed)
+            for vector, seed, size in zip(vectors, seeds, sizes)
+        ]
+    else:
+        clusters = method.cluster_batch(seeds, sizes)
+    per_seed = (time.perf_counter() - start) / len(seeds)
+    if not ranked:
+        vectors = method.score_vector_batch(seeds)
+    records = []
+    for seed, size, cluster, vector in zip(seeds, sizes, clusters, vectors):
+        record = {
+            "graph": graph.name,
+            "method": method.name,
+            "seed": int(seed),
+            "size": int(size),
+            "members": [int(node) for node in cluster],
+            "scores": [float(score) for score in vector[cluster]],
+            "conductance": conductance(graph, cluster),
+            "online_s": round(per_seed, 6),
+        }
+        truth = truths.get(seed)
+        if truth is not None:
+            record["precision"] = precision(cluster, truth)
+            record["recall"] = recall(cluster, truth)
+        records.append(record)
+    return records
 
 
 def _cluster_batch(graph, seeds: list[int], args) -> int:
@@ -101,6 +163,10 @@ def _cluster_batch(graph, seeds: list[int], args) -> int:
         sizes = [args.size] * len(seeds)
 
     method = make_method(args.method).fit(graph)
+    if args.json:
+        for record in _json_records(graph, method, seeds, sizes, truths):
+            print(json.dumps(record))
+        return 0
     start = time.perf_counter()
     clusters = method.cluster_batch(seeds, sizes)
     elapsed = time.perf_counter() - start
@@ -122,6 +188,105 @@ def _cluster_batch(graph, seeds: list[int], args) -> int:
             print(f"        members: {shown}{suffix}")
     rate = len(seeds) / elapsed if elapsed > 0 else float("inf")
     print(f"online: {elapsed:.4f}s total, throughput {rate:.1f} seeds/s")
+    return 0
+
+
+def _read_queries(source, default_size, graph):
+    """Parse ``seed [size]`` lines into (seed, size) pairs.
+
+    Blank lines and ``#`` comments are skipped.  A line without a size
+    falls back to ``--size``, then to the seed's ground-truth cluster
+    size when the graph carries communities.
+    """
+    pairs: list[tuple[int, int]] = []
+    for lineno, line in enumerate(source, start=1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.split()
+        if len(parts) > 2:
+            raise SystemExit(f"query line {lineno}: expected 'seed [size]', got {text!r}")
+        try:
+            seed = int(parts[0])
+            size = int(parts[1]) if len(parts) == 2 else default_size
+        except ValueError:
+            raise SystemExit(
+                f"query line {lineno}: expected 'seed [size]', got {text!r}"
+            ) from None
+        if not 0 <= seed < graph.n:
+            raise SystemExit(
+                f"query line {lineno}: seed {seed} out of range for n={graph.n}"
+            )
+        if size is not None and size <= 0:
+            raise SystemExit(
+                f"query line {lineno}: cluster size must be positive, got {size}"
+            )
+        if size is None:
+            if graph.communities is None:
+                raise SystemExit(
+                    f"query line {lineno}: no size given and the graph has no "
+                    "ground truth — pass --size or 'seed size' lines"
+                )
+            size = int(graph.ground_truth_cluster(seed).shape[0])
+        pairs.append((seed, size))
+    return pairs
+
+
+def _cmd_serve(args) -> int:
+    from .core.pipeline import LACA
+    from .serving import ClusterService, load_model, save_model
+
+    graph = _load_cli_graph(args)
+    if args.model:
+        model = load_model(args.model, graph)
+    else:
+        model = LACA(metric=args.metric).fit(graph)
+        print(
+            f"fitted {model.describe()} on {graph.name} "
+            f"in {model.preprocessing_seconds:.3f}s",
+            file=sys.stderr,
+        )
+    if args.save_model:
+        path = save_model(model, args.save_model)
+        print(f"saved model to {path}", file=sys.stderr)
+
+    if args.queries and args.queries != "-":
+        try:
+            handle = open(args.queries, encoding="utf-8")
+        except OSError as error:
+            raise SystemExit(f"cannot read queries file: {error}") from None
+        with handle:
+            pairs = _read_queries(handle, args.size, graph)
+    else:
+        pairs = _read_queries(sys.stdin, args.size, graph)
+    if not pairs:
+        print("no queries", file=sys.stderr)
+        return 0
+
+    with ClusterService(
+        model,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        cache_size=args.cache_size,
+    ) as service:
+        # Submit everything up front so concurrent queries coalesce into
+        # blocks, then stream results back in input order.
+        submitted = [
+            (seed, size, time.perf_counter(), service.submit(seed, size))
+            for seed, size in pairs
+        ]
+        for seed, size, submitted_at, future in submitted:
+            cluster = future.result()
+            latency = time.perf_counter() - submitted_at
+            print(json.dumps({
+                "seed": int(seed),
+                "size": int(size),
+                "members": [int(node) for node in cluster],
+                "conductance": conductance(graph, cluster),
+                "latency_s": round(latency, 6),
+            }), flush=True)
+        if args.stats:
+            print(json.dumps(service.stats()), file=sys.stderr)
     return 0
 
 
@@ -149,6 +314,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", action="store_true",
         help="use the batched query path even for a single seed",
     )
+    cluster.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON result per seed",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="answer seed queries through the micro-batching service"
+    )
+    serve.add_argument("--dataset", choices=dataset_names(), default=None)
+    serve.add_argument("--graph", default=None, help="path to a saved .npz graph")
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument(
+        "--model", default=None,
+        help="saved model archive (see repro.serving.save_model); "
+        "fits a fresh LACA when omitted",
+    )
+    serve.add_argument(
+        "--save-model", default=None, metavar="PATH",
+        help="persist the served model for future --model runs",
+    )
+    serve.add_argument("--metric", choices=["cosine", "exp_cosine"],
+                       default="cosine", help="SNAS metric for a fresh fit")
+    serve.add_argument(
+        "--queries", default=None, metavar="FILE",
+        help="file of 'seed [size]' lines ('-' or omitted reads stdin)",
+    )
+    serve.add_argument("--size", type=int, default=None,
+                       help="default cluster size for queries without one")
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="coalescing window per dispatched block")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache capacity (0 disables)")
+    serve.add_argument("--stats", action="store_true",
+                       help="print service telemetry to stderr at the end")
     return parser
 
 
@@ -158,6 +358,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "methods": _cmd_methods,
         "cluster": _cmd_cluster,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -20,6 +20,7 @@ mat-mats instead of ``B`` independent traversals:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 import numpy as np
@@ -36,6 +37,9 @@ from .laca import (
 )
 
 __all__ = ["LACA"]
+
+#: Fit-state schema version, bumped on incompatible layout changes.
+FIT_STATE_VERSION = 1
 
 
 class LACA:
@@ -139,6 +143,83 @@ class LACA:
             for b, seed in enumerate(chunk):
                 clusters[seed] = result.cluster(b, sizes[lo + b])
         return clusters
+
+    # ------------------------------------------------------------------
+    def fit_state(self) -> dict[str, np.ndarray]:
+        """Flat array mapping capturing everything :meth:`fit` computed.
+
+        The mapping is ``np.savez``-ready (plain arrays, no pickle) and
+        is the persistence contract used by :mod:`repro.serving`: config
+        scalars under ``config_*`` keys, the TNAM under ``tnam_*`` keys
+        (absent when fit built none), plus provenance.  The graph itself
+        is *not* included — graphs have their own archive format in
+        :mod:`repro.graphs.io` and are typically shared by many models.
+        """
+        graph = self._require_fit()
+        state: dict[str, np.ndarray] = {
+            "format_version": np.asarray(FIT_STATE_VERSION),
+            "graph_name": np.asarray(graph.name),
+            "graph_n": np.asarray(graph.n),
+            "preprocessing_seconds": np.asarray(self.preprocessing_seconds),
+        }
+        for field in dataclasses.fields(self.config):
+            state[f"config_{field.name}"] = np.asarray(
+                getattr(self.config, field.name)
+            )
+        if self.tnam is not None:
+            state["tnam_z"] = self.tnam.z
+            state["tnam_metric"] = np.asarray(self.tnam.metric)
+            state["tnam_k"] = np.asarray(self.tnam.k)
+            state["tnam_delta"] = np.asarray(self.tnam.delta)
+        return state
+
+    @classmethod
+    def from_fit_state(cls, state, graph: AttributedGraph) -> "LACA":
+        """Rebuild a fitted model from :meth:`fit_state` output.
+
+        ``state`` may be the dict itself or an open ``np.load`` archive.
+        The reconstruction skips Algo 3 entirely — the stored TNAM is
+        reattached as-is, so query results are bitwise identical to the
+        original model's.  ``graph`` must be the graph the state was
+        fitted on (checked by node count and name, the cheap invariants
+        we can verify without hashing the whole adjacency).
+        """
+        version = int(state["format_version"])
+        if version != FIT_STATE_VERSION:
+            raise ValueError(
+                f"unsupported fit-state version {version} "
+                f"(this build reads version {FIT_STATE_VERSION})"
+            )
+        stored_n = int(state["graph_n"])
+        if stored_n != graph.n:
+            raise ValueError(
+                f"fit state was built on a graph with n={stored_n}, "
+                f"got a graph with n={graph.n}"
+            )
+        stored_name = str(state["graph_name"])
+        if stored_name != graph.name:
+            raise ValueError(
+                f"fit state was built on graph {stored_name!r}, "
+                f"got graph {graph.name!r}"
+            )
+        overrides = {}
+        for field in dataclasses.fields(LacaConfig):
+            key = f"config_{field.name}"
+            if key not in state:
+                continue  # older states may predate newly added knobs
+            raw = np.asarray(state[key])
+            overrides[field.name] = raw.item()
+        model = cls(LacaConfig(**overrides))
+        model.graph = graph
+        model.preprocessing_seconds = float(state["preprocessing_seconds"])
+        if "tnam_z" in state:
+            model.tnam = TNAM(
+                z=np.asarray(state["tnam_z"], dtype=np.float64),
+                metric=str(state["tnam_metric"]),
+                k=int(state["tnam_k"]),
+                delta=float(state["tnam_delta"]),
+            )
+        return model
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -21,11 +21,25 @@ from .metrics import conductance, precision, recall, wcss
 
 __all__ = [
     "MethodEvaluation",
+    "latency_percentile",
     "sample_seeds",
     "evaluate_method",
     "evaluate_many",
     "grid_search",
 ]
+
+
+def latency_percentile(seconds, q: float) -> float:
+    """The ``q``-th percentile of a latency sample (0.0 when empty).
+
+    Shared by the harness (per-seed online times) and the serving
+    telemetry (per-request latencies) so both layers report identical
+    p50/p95 definitions — linear interpolation between order statistics.
+    """
+    values = np.asarray(seconds, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(np.percentile(values, q))
 
 
 @dataclass
@@ -66,6 +80,16 @@ class MethodEvaluation:
         return float(np.sum(self.online_seconds)) if self.online_seconds else 0.0
 
     @property
+    def p50_online_seconds(self) -> float:
+        """Median per-seed online latency (matches serving telemetry)."""
+        return latency_percentile(self.online_seconds, 50.0)
+
+    @property
+    def p95_online_seconds(self) -> float:
+        """Tail per-seed online latency (matches serving telemetry)."""
+        return latency_percentile(self.online_seconds, 95.0)
+
+    @property
     def throughput_seeds_per_s(self) -> float:
         """Answered seed queries per second of online time (Fig. 7 axis).
 
@@ -85,6 +109,8 @@ class MethodEvaluation:
             "conductance": round(self.mean_conductance, 3),
             "wcss": round(self.mean_wcss, 3),
             "online_s": round(self.mean_online_seconds, 4),
+            "p50_online_s": round(self.p50_online_seconds, 4),
+            "p95_online_s": round(self.p95_online_seconds, 4),
             "preprocess_s": round(self.preprocessing_seconds, 4),
             "throughput_seeds_per_s": round(self.throughput_seeds_per_s, 1),
         }

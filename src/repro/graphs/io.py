@@ -14,7 +14,25 @@ import scipy.sparse as sp
 
 from .graph import AttributedGraph
 
-__all__ = ["save_graph", "load_graph"]
+__all__ = ["save_graph", "load_graph", "resolve_npz_path"]
+
+
+def resolve_npz_path(path: str | Path, kind: str) -> Path:
+    """Resolve ``path`` to an existing archive, ``.npz`` suffix optional.
+
+    Shared by every archive loader (graphs here, models in
+    ``repro.serving``): when neither the given path nor its ``.npz``
+    variant exists, the error names every path that was tried instead of
+    leaking ``np.load``'s bare complaint about the normalized one.
+    """
+    path = Path(path)
+    if path.exists():
+        return path
+    fallback = path.with_suffix(".npz")
+    if fallback.exists():
+        return fallback
+    attempted = str(path) if path == fallback else f"{path} (nor {fallback})"
+    raise FileNotFoundError(f"no {kind} archive at {attempted}")
 
 
 def save_graph(graph: AttributedGraph, path: str | Path) -> Path:
@@ -41,9 +59,7 @@ def save_graph(graph: AttributedGraph, path: str | Path) -> Path:
 
 def load_graph(path: str | Path) -> AttributedGraph:
     """Load a graph previously written by :func:`save_graph`."""
-    path = Path(path)
-    if not path.exists() and path.with_suffix(".npz").exists():
-        path = path.with_suffix(".npz")
+    path = resolve_npz_path(path, "graph")
     with np.load(path, allow_pickle=False) as archive:
         shape = tuple(archive["shape"])
         adj = sp.csr_matrix(

@@ -1,0 +1,112 @@
+"""Result cache for served cluster queries.
+
+An answered query is fully determined by (model identity, seed, cluster
+size, hyper-parameters), so serving keeps a bounded LRU of extracted
+clusters keyed on exactly that tuple and consults it before paying a
+diffusion.  Entries are immutable arrays shared across callers; hit/miss
+counters feed the service telemetry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.config import LacaConfig
+
+__all__ = ["ResultCache", "config_digest", "query_key"]
+
+
+def config_digest(config: LacaConfig) -> str:
+    """Short stable digest of every LACA hyper-parameter.
+
+    Part of each cache key: two services over the same graph but
+    different configs (say, greedy vs adaptive diffusion) must never
+    share entries, and a persisted model reloaded with the same config
+    hashes identically across processes.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def query_key(model_name: str, seed: int, size: int, digest: str) -> tuple:
+    """The canonical cache key of one cluster query."""
+    return (str(model_name), int(seed), int(size), str(digest))
+
+
+class ResultCache:
+    """Thread-safe LRU of answered cluster queries with hit/miss counters.
+
+    ``get`` refreshes recency; ``put`` evicts the least-recently-used
+    entry once ``capacity`` is exceeded.  Stored arrays are marked
+    read-only so one caller cannot corrupt another caller's hit.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        """The cached cluster for ``key``, or None (counts a miss)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, cluster: np.ndarray) -> np.ndarray:
+        """Insert ``cluster`` under ``key``; returns the stored array."""
+        cluster = np.asarray(cluster)
+        cluster.setflags(write=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = cluster
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return cluster
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 before any)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,234 @@
+"""Micro-batching cluster service: concurrent queries share traversals.
+
+The block diffusion engine (PR 1) answers ``B`` seeds for far less than
+``B`` sequential traversals, but only if someone stacks the seeds into a
+block.  :class:`ClusterService` is that someone: callers ``submit`` one
+query each and get a future; a background dispatcher drains the queue
+into blocks of up to ``max_batch`` requests (waiting at most
+``max_wait_s`` for stragglers) and answers each block with one
+:meth:`LACA.scores_batch` call.  Answers are bitwise identical to
+sequential :meth:`LACA.cluster` — the block path is an equivalent
+reformulation, not an approximation — and are remembered in an LRU
+result cache consulted before enqueueing.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.pipeline import LACA
+from .cache import ResultCache, config_digest, query_key
+from .telemetry import ServiceTelemetry
+
+__all__ = ["ClusterService"]
+
+#: Queue sentinel that tells the dispatcher to exit after the current block.
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    """One pending cluster query and the future that will carry its answer."""
+
+    seed: int
+    size: int
+    key: tuple
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class ClusterService:
+    """Thread-safe serving front-end over one fitted :class:`LACA` model.
+
+    Parameters
+    ----------
+    model:
+        A fitted LACA instance (fresh :meth:`~LACA.fit` or
+        :func:`~repro.serving.persistence.load_model`).
+    name:
+        Model identity used in cache keys and stats; defaults to the
+        fitted graph's name.
+    max_batch:
+        Largest block one dispatch answers (occupancy cap).
+    max_wait_s:
+        How long a dispatched block waits for extra requests beyond its
+        first — the latency the service trades for coalescing.  ``0``
+        takes only what is already queued.
+    cache_size:
+        LRU capacity of the result cache; ``0`` disables caching.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        model: LACA,
+        *,
+        name: str | None = None,
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        cache_size: int = 1024,
+    ) -> None:
+        graph = model._require_fit()
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_s < 0.0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.model = model
+        self.name = name if name is not None else graph.name
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.digest = config_digest(model.config)
+        self.cache: ResultCache | None = (
+            ResultCache(cache_size) if cache_size else None
+        )
+        self.telemetry = ServiceTelemetry()
+        self._n = graph.n
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"cluster-service-{self.name}",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, seed: int, size: int) -> Future:
+        """Enqueue one query; the future resolves to its cluster array.
+
+        Cache hits resolve immediately without touching the queue.
+        Invalid arguments fail fast here, not in the future.
+        """
+        seed, size = int(seed), int(size)
+        if not 0 <= seed < self._n:
+            raise IndexError(f"seed {seed} out of range for n={self._n}")
+        if size <= 0:
+            raise ValueError(f"cluster size must be positive, got {size}")
+        key = query_key(self.name, seed, size, self.digest)
+        # The closed-check and the enqueue share close()'s lock so no
+        # request can slip in behind the shutdown sentinel (it would
+        # never be answered and its future would hang forever).
+        with self._close_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.telemetry.record_cache_hit()
+                    future: Future = Future()
+                    future.set_result(cached)
+                    return future
+            request = _Request(seed=seed, size=size, key=key)
+            self._queue.put(request)
+        return request.future
+
+    def cluster(self, seed: int, size: int) -> np.ndarray:
+        """Blocking convenience: ``submit(seed, size).result()``."""
+        return self.submit(seed, size).result()
+
+    def submit_many(self, seeds, size: int) -> list[Future]:
+        """Enqueue several queries at once (they coalesce naturally)."""
+        return [self.submit(seed, size) for seed in seeds]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Telemetry snapshot merged with cache and identity info."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["model"] = self.name
+        snapshot["config_digest"] = self.digest
+        snapshot["max_batch"] = self.max_batch
+        snapshot["max_wait_s"] = self.max_wait_s
+        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        snapshot["cache_hit_rate"] = (
+            self.cache.hit_rate if self.cache is not None else 0.0
+        )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting queries, answer what is queued, join the thread."""
+        with self._close_lock:
+            if self._closed:
+                self._dispatcher.join(timeout)
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._dispatcher.join(timeout)
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                return
+            block, saw_shutdown = self._gather_block(first)
+            self._answer(block)
+            if saw_shutdown:
+                return
+
+    def _gather_block(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Coalesce queued requests behind ``first`` into one block.
+
+        Waits until ``max_wait_s`` past the block's start for stragglers,
+        stops early at ``max_batch`` occupancy, and reports whether the
+        shutdown sentinel was consumed while gathering.
+        """
+        block = [first]
+        deadline = time.perf_counter() + self.max_wait_s
+        while len(block) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    request = self._queue.get(timeout=remaining)
+                else:
+                    request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is _SHUTDOWN:
+                return block, True
+            block.append(request)
+        return block, False
+
+    def _answer(self, block: list[_Request]) -> None:
+        """One engine call for the whole block, then resolve its futures."""
+        start = time.perf_counter()
+        try:
+            result = self.model.scores_batch([request.seed for request in block])
+            clusters = [
+                result.cluster(b, request.size)
+                for b, request in enumerate(block)
+            ]
+        except Exception as exc:  # surface engine failures per-request
+            for request in block:
+                self.telemetry.record_error()
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(exc)
+            return
+        engine_seconds = time.perf_counter() - start
+        self.telemetry.record_batch(len(block), engine_seconds)
+        now = time.perf_counter()
+        for request, cluster in zip(block, clusters):
+            if self.cache is not None:
+                cluster = self.cache.put(request.key, cluster)
+            else:
+                cluster.setflags(write=False)
+            # A caller may have cancelled while queued; resolving a
+            # cancelled future raises and would kill the dispatcher.
+            if not request.future.set_running_or_notify_cancel():
+                continue  # answer stays in the cache for the next asker
+            self.telemetry.record_latency(now - request.enqueued_at)
+            request.future.set_result(cluster)

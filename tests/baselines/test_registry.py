@@ -68,3 +68,17 @@ class TestBaseInterface:
         cluster = method.cluster(0, 10)
         assert cluster.shape == (10,)
         assert method.category == "ours"
+
+    def test_score_vector_batch_matches_sequential(self, small_sbm):
+        # Default loop path (PR-Nibble) and the LACA block override both
+        # answer element b for seeds[b].
+        atol = {"PR-Nibble": 0.0, "LACA (C)": 1e-12}
+        for name, tolerance in atol.items():
+            method = make_method(name).fit(small_sbm)
+            seeds = [0, 7, 33]
+            vectors = method.score_vector_batch(seeds)
+            assert len(vectors) == len(seeds)
+            for seed, vector in zip(seeds, vectors):
+                np.testing.assert_allclose(
+                    vector, method.score_vector(seed), rtol=0, atol=tolerance
+                )

@@ -124,3 +124,44 @@ class TestBatchAPI:
         batch = model.cluster_many([2, 4], size=10)
         assert np.array_equal(batch[2], model.cluster(2, 10))
         assert np.array_equal(batch[4], model.cluster(4, 10))
+
+
+class TestFitState:
+    def test_round_trip_in_memory(self, small_sbm):
+        model = LACA(metric="cosine", k=8).fit(small_sbm)
+        rebuilt = LACA.from_fit_state(model.fit_state(), small_sbm)
+        assert rebuilt.config == model.config
+        np.testing.assert_array_equal(rebuilt.tnam.z, model.tnam.z)
+        np.testing.assert_array_equal(
+            rebuilt.cluster(0, 15), model.cluster(0, 15)
+        )
+
+    def test_state_is_savez_ready(self, small_sbm):
+        state = LACA(metric="cosine", k=8).fit(small_sbm).fit_state()
+        for key, value in state.items():
+            assert isinstance(value, np.ndarray), key
+            assert value.dtype != object, key
+
+    def test_unfitted_model_has_no_state(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            LACA().fit_state()
+
+    def test_unsupported_version_rejected(self, small_sbm):
+        state = LACA(k=8).fit(small_sbm).fit_state()
+        state["format_version"] = np.asarray(999)
+        with pytest.raises(ValueError, match="version 999"):
+            LACA.from_fit_state(state, small_sbm)
+
+    def test_graph_size_mismatch_rejected(self, small_sbm, plain_graph):
+        state = LACA(k=8).fit(small_sbm).fit_state()
+        with pytest.raises(ValueError, match="n="):
+            LACA.from_fit_state(state, plain_graph)
+
+    def test_missing_config_key_uses_default(self, small_sbm):
+        # Forward compatibility: states written before a knob existed
+        # fall back to that knob's default.
+        state = LACA(k=8).fit(small_sbm).fit_state()
+        del state["config_sigma"]
+        rebuilt = LACA.from_fit_state(state, small_sbm)
+        assert rebuilt.config.sigma == LacaConfig().sigma
+        assert rebuilt.config.k == 8

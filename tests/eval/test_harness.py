@@ -61,7 +61,8 @@ class TestEvaluateMethod:
         row = evaluate_method(small_sbm, "PR-Nibble", seeds).as_row()
         assert set(row) == {
             "method", "dataset", "precision", "recall", "conductance",
-            "wcss", "online_s", "preprocess_s", "throughput_seeds_per_s",
+            "wcss", "online_s", "p50_online_s", "p95_online_s",
+            "preprocess_s", "throughput_seeds_per_s",
         }
 
     def test_empty_evaluation_means_zero(self):
@@ -69,6 +70,18 @@ class TestEvaluateMethod:
         assert evaluation.mean_precision == 0.0
         assert evaluation.mean_online_seconds == 0.0
         assert evaluation.throughput_seeds_per_s == 0.0
+        assert evaluation.p50_online_seconds == 0.0
+        assert evaluation.p95_online_seconds == 0.0
+
+    def test_latency_percentiles(self):
+        evaluation = MethodEvaluation(
+            method="x", dataset="y", online_seconds=[0.1, 0.2, 0.3]
+        )
+        assert evaluation.p50_online_seconds == pytest.approx(0.2)
+        assert evaluation.p95_online_seconds == pytest.approx(0.29)
+        row = evaluation.as_row()
+        assert row["p50_online_s"] == pytest.approx(0.2)
+        assert row["p95_online_s"] == pytest.approx(0.29)
 
 
 class TestThroughput:

@@ -1,6 +1,7 @@
 """Round-trip tests for graph serialization."""
 
 import numpy as np
+import pytest
 
 from repro.graphs.io import load_graph, save_graph
 
@@ -31,3 +32,21 @@ class TestRoundTrip:
     def test_creates_parent_dirs(self, tiny_graph, tmp_path):
         path = save_graph(tiny_graph, tmp_path / "nested" / "dir" / "g")
         assert path.exists()
+
+
+class TestMissingArchive:
+    def test_error_names_both_attempted_paths(self, tmp_path):
+        target = tmp_path / "missing"
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_graph(target)
+        message = str(excinfo.value)
+        assert str(target) in message
+        assert str(target.with_suffix(".npz")) in message
+
+    def test_error_with_explicit_suffix_names_one_path(self, tmp_path):
+        target = tmp_path / "missing.npz"
+        with pytest.raises(FileNotFoundError, match="missing.npz"):
+            load_graph(target)
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_graph(target)
+        assert "nor" not in str(excinfo.value)

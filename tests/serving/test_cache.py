@@ -1,0 +1,93 @@
+"""Tests for the LRU result cache and the config digest that keys it."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.serving import ResultCache, config_digest, query_key
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        key = query_key("m", 0, 10, "digest")
+        assert cache.get(key) is None
+        cache.put(key, np.array([1, 2, 3]))
+        np.testing.assert_array_equal(cache.get(key), [1, 2, 3])
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        a, b, c = (query_key("m", seed, 5, "d") for seed in (0, 1, 2))
+        cache.put(a, np.array([0]))
+        cache.put(b, np.array([1]))
+        cache.get(a)  # refresh a; b is now least recently used
+        cache.put(c, np.array([2]))
+        assert a in cache and c in cache and b not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        a, b, c = (query_key("m", seed, 5, "d") for seed in (0, 1, 2))
+        cache.put(a, np.array([0]))
+        cache.put(b, np.array([1]))
+        cache.put(a, np.array([9]))  # re-put refreshes a
+        cache.put(c, np.array([2]))
+        assert b not in cache
+        np.testing.assert_array_equal(cache.get(a), [9])
+
+    def test_entries_are_read_only(self):
+        cache = ResultCache(capacity=2)
+        key = query_key("m", 0, 3, "d")
+        stored = cache.put(key, np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            stored[0] = 99
+        with pytest.raises(ValueError):
+            cache.get(key)[0] = 99
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=2)
+        key = query_key("m", 0, 3, "d")
+        cache.put(key, np.array([1]))
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=0)
+
+    def test_stats_shape(self):
+        cache = ResultCache(capacity=8)
+        stats = cache.stats()
+        assert stats["capacity"] == 8
+        assert {"size", "hits", "misses", "evictions", "hit_rate"} <= set(stats)
+
+
+class TestConfigDigest:
+    def test_stable_across_instances(self):
+        assert config_digest(LacaConfig()) == config_digest(LacaConfig())
+
+    def test_sensitive_to_every_knob(self):
+        base = LacaConfig()
+        variants = [
+            base.with_updates(alpha=0.9),
+            base.with_updates(sigma=0.2),
+            base.with_updates(epsilon=1e-5),
+            base.with_updates(k=16),
+            base.with_updates(metric="exp_cosine"),
+            base.with_updates(delta=2.0),
+            base.with_updates(use_snas=False),
+            base.with_updates(use_svd=False),
+            base.with_updates(diffusion="greedy"),
+        ]
+        digests = {config_digest(config) for config in [base] + variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_key_separates_models_and_sizes(self):
+        digest = config_digest(LacaConfig())
+        assert query_key("a", 0, 10, digest) != query_key("b", 0, 10, digest)
+        assert query_key("a", 0, 10, digest) != query_key("a", 0, 11, digest)

@@ -1,0 +1,135 @@
+"""Tests for model persistence: save/load round-trips and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.core.pipeline import LACA
+from repro.graphs.io import save_graph
+from repro.serving import ModelRegistry, load_model, save_model
+
+
+class TestSaveLoadRoundTrip:
+    def test_cluster_bitwise_equal(self, small_sbm, tmp_path):
+        model = LACA(LacaConfig(k=8)).fit(small_sbm)
+        path = save_model(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        loaded = load_model(path, small_sbm)
+        for seed in (0, 17, 83):
+            np.testing.assert_array_equal(
+                loaded.cluster(seed, 25), model.cluster(seed, 25)
+            )
+
+    def test_scores_bitwise_equal(self, small_sbm, tmp_path):
+        model = LACA(LacaConfig(k=8, metric="exp_cosine")).fit(small_sbm)
+        loaded = load_model(save_model(model, tmp_path / "m"), small_sbm)
+        np.testing.assert_array_equal(
+            loaded.scores(5).scores, model.scores(5).scores
+        )
+
+    def test_config_round_trips(self, small_sbm, tmp_path):
+        config = LacaConfig(
+            alpha=0.85, sigma=0.05, epsilon=1e-5, k=8,
+            metric="exp_cosine", delta=2.0, diffusion="greedy",
+        )
+        model = LACA(config).fit(small_sbm)
+        loaded = load_model(save_model(model, tmp_path / "m"), small_sbm)
+        assert loaded.config == config
+
+    def test_no_snas_model(self, plain_graph, tmp_path):
+        model = LACA(LacaConfig(k=8)).fit(plain_graph)
+        assert model.tnam is None
+        loaded = load_model(save_model(model, tmp_path / "m"), plain_graph)
+        assert loaded.tnam is None
+        np.testing.assert_array_equal(
+            loaded.cluster(3, 20), model.cluster(3, 20)
+        )
+
+    def test_preprocessing_seconds_preserved(self, small_sbm, tmp_path):
+        model = LACA(LacaConfig(k=8)).fit(small_sbm)
+        loaded = load_model(save_model(model, tmp_path / "m"), small_sbm)
+        assert loaded.preprocessing_seconds == model.preprocessing_seconds
+
+    def test_load_without_suffix(self, small_sbm, tmp_path):
+        model = LACA(LacaConfig(k=8)).fit(small_sbm)
+        save_model(model, tmp_path / "m")
+        loaded = load_model(tmp_path / "m", small_sbm)
+        assert loaded.config == model.config
+
+    def test_missing_archive_names_paths(self, small_sbm, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nowhere"):
+            load_model(tmp_path / "nowhere", small_sbm)
+
+    def test_wrong_graph_rejected(self, small_sbm, plain_graph, tmp_path):
+        model = LACA(LacaConfig(k=8)).fit(small_sbm)
+        path = save_model(model, tmp_path / "m")
+        with pytest.raises(ValueError, match="n="):
+            load_model(path, plain_graph)
+
+    def test_same_size_different_graph_rejected(self, small_sbm, tmp_path):
+        from repro.graphs.graph import AttributedGraph
+
+        model = LACA(LacaConfig(k=8)).fit(small_sbm)
+        path = save_model(model, tmp_path / "m")
+        impostor = AttributedGraph(
+            adjacency=small_sbm.adjacency,
+            attributes=small_sbm.attributes,
+            name="impostor",
+        )
+        with pytest.raises(ValueError, match="impostor"):
+            load_model(path, impostor)
+
+    def test_unfitted_model_cannot_be_saved(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            save_model(LACA(), tmp_path / "m")
+
+
+class TestModelRegistry:
+    def _saved(self, graph, tmp_path, name="m"):
+        model = LACA(LacaConfig(k=8)).fit(graph)
+        return model, save_model(model, tmp_path / name)
+
+    def test_lazy_load_and_memoize(self, small_sbm, tmp_path):
+        model, path = self._saved(small_sbm, tmp_path)
+        registry = ModelRegistry()
+        registry.register("sbm", path, small_sbm)
+        assert "sbm" in registry
+        assert not registry.loaded("sbm")
+        loaded = registry.get("sbm")
+        assert registry.loaded("sbm")
+        assert registry.get("sbm") is loaded
+        np.testing.assert_array_equal(
+            loaded.cluster(0, 25), model.cluster(0, 25)
+        )
+
+    def test_graph_by_path_shared_between_models(self, small_sbm, tmp_path):
+        _, path_a = self._saved(small_sbm, tmp_path, "a")
+        _, path_b = self._saved(small_sbm, tmp_path, "b")
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        registry = ModelRegistry()
+        registry.register("a", path_a, graph_path)
+        registry.register("b", path_b, graph_path)
+        assert registry.get("a").graph is registry.get("b").graph
+
+    def test_duplicate_name_rejected(self, small_sbm, tmp_path):
+        _, path = self._saved(small_sbm, tmp_path)
+        registry = ModelRegistry()
+        registry.register("m", path, small_sbm)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("m", path, small_sbm)
+
+    def test_unknown_name_lists_registered(self, small_sbm, tmp_path):
+        _, path = self._saved(small_sbm, tmp_path)
+        registry = ModelRegistry()
+        registry.register("m", path, small_sbm)
+        with pytest.raises(KeyError, match="registered: m"):
+            registry.get("missing")
+
+    def test_evict_reloads(self, small_sbm, tmp_path):
+        _, path = self._saved(small_sbm, tmp_path)
+        registry = ModelRegistry()
+        registry.register("m", path, small_sbm)
+        first = registry.get("m")
+        registry.evict("m")
+        assert not registry.loaded("m")
+        assert registry.get("m") is not first

@@ -1,0 +1,221 @@
+"""Tests for ClusterService: parity, coalescing, caching, lifecycle.
+
+The service is a scheduling layer over engines whose batch parity is
+already pinned (tests/core/test_laca_batch.py): whatever blocks the
+dispatcher forms, every answer must equal the sequential
+``LACA.cluster`` output exactly.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.core.pipeline import LACA
+from repro.serving import ClusterService
+
+ENGINES = ["greedy", "nongreedy", "adaptive"]
+
+
+def _model(graph, engine="adaptive", **overrides):
+    overrides.setdefault("k", 8)
+    return LACA(LacaConfig(diffusion=engine, **overrides)).fit(graph)
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bitwise_equal_to_sequential(self, small_sbm, engine):
+        """Coalesced answers match sequential cluster() across engines,
+        on both the cache-miss (first ask) and cache-hit (second ask)
+        paths."""
+        model = _model(small_sbm, engine)
+        seeds = [0, 7, 33, 60, 91, 7]  # includes an in-flight duplicate
+        size = 25
+        expected = {seed: model.cluster(seed, size) for seed in set(seeds)}
+        with ClusterService(model, max_batch=8, max_wait_s=0.05) as service:
+            futures = [service.submit(seed, size) for seed in seeds]
+            for seed, future in zip(seeds, futures):
+                np.testing.assert_array_equal(future.result(), expected[seed])
+            # Second round: every seed is now cached.
+            for seed in seeds:
+                np.testing.assert_array_equal(
+                    service.cluster(seed, size), expected[seed]
+                )
+            stats = service.stats()
+        # Every request is accounted for; at least the whole second round
+        # came from the cache (the in-flight duplicate may land on either
+        # side depending on when its block dispatched).
+        assert stats["engine_served"] + stats["cache_served"] == 2 * len(seeds)
+        assert stats["cache_served"] >= len(seeds)
+        assert stats["engine_served"] >= len(set(seeds))
+
+    def test_non_attributed_graph(self, plain_graph):
+        model = _model(plain_graph)
+        with ClusterService(model, max_wait_s=0.02) as service:
+            for seed in (0, 10, 55):
+                np.testing.assert_array_equal(
+                    service.cluster(seed, 20), model.cluster(seed, 20)
+                )
+
+    def test_mixed_sizes_in_one_block(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_wait_s=0.1) as service:
+            futures = [
+                service.submit(seed, size)
+                for seed, size in [(0, 5), (0, 30), (17, 12)]
+            ]
+            results = [future.result() for future in futures]
+        assert [len(cluster) for cluster in results] == [5, 30, 12]
+        np.testing.assert_array_equal(results[0], model.cluster(0, 5))
+        np.testing.assert_array_equal(results[1], model.cluster(0, 30))
+
+
+class TestCoalescing:
+    def test_quick_burst_forms_one_block(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_batch=8, max_wait_s=0.25) as service:
+            futures = [service.submit(seed, 20) for seed in (1, 2, 3, 4)]
+            for future in futures:
+                future.result()
+            stats = service.stats()
+        assert stats["batches"] == 1
+        assert stats["mean_batch_occupancy"] == 4.0
+        assert stats["max_batch_occupancy"] == 4
+
+    def test_max_batch_caps_occupancy(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_batch=2, max_wait_s=0.25) as service:
+            futures = [service.submit(seed, 20) for seed in (1, 2, 3, 4)]
+            for future in futures:
+                future.result()
+            stats = service.stats()
+        assert stats["max_batch_occupancy"] <= 2
+        assert stats["batches"] >= 2
+
+    def test_concurrent_submitters_all_answered_correctly(self, small_sbm):
+        model = _model(small_sbm)
+        expected = {seed: model.cluster(seed, 20) for seed in range(24)}
+        failures: list[str] = []
+
+        def worker(seeds, service):
+            for seed in seeds:
+                got = service.cluster(seed, 20)
+                if not np.array_equal(got, expected[seed]):
+                    failures.append(f"seed {seed} mismatched")
+
+        with ClusterService(model, max_batch=8, max_wait_s=0.005) as service:
+            threads = [
+                threading.Thread(target=worker, args=(range(lo, lo + 3), service))
+                for lo in range(0, 24, 3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        assert not failures
+        assert stats["engine_served"] == 24
+        assert stats["requests"] == 24
+
+
+class TestCacheIntegration:
+    def test_cache_hits_skip_the_engine(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_wait_s=0.0) as service:
+            first = service.cluster(5, 20)
+            second = service.cluster(5, 20)
+            stats = service.stats()
+        assert second is first  # the very same stored array
+        assert stats["engine_served"] == 1
+        assert stats["cache_served"] == 1
+        assert stats["cache_hit_rate"] == 0.5
+        assert stats["cache"]["hits"] == 1
+
+    def test_cache_disabled(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, cache_size=0, max_wait_s=0.0) as service:
+            service.cluster(5, 20)
+            service.cluster(5, 20)
+            stats = service.stats()
+        assert service.cache is None
+        assert stats["cache"] is None
+        assert stats["engine_served"] == 2
+
+    def test_results_are_read_only(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_wait_s=0.0) as service:
+            cluster = service.cluster(5, 20)
+        with pytest.raises(ValueError):
+            cluster[0] = 99
+
+
+class TestLifecycleAndValidation:
+    def test_close_answers_queued_work(self, small_sbm):
+        model = _model(small_sbm)
+        service = ClusterService(model, max_wait_s=0.2)
+        futures = [service.submit(seed, 15) for seed in (0, 1, 2)]
+        service.close()
+        for future in futures:
+            assert len(future.result()) == 15
+
+    def test_submit_after_close_raises(self, small_sbm):
+        service = ClusterService(_model(small_sbm))
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(0, 10)
+
+    def test_close_is_idempotent(self, small_sbm):
+        service = ClusterService(_model(small_sbm))
+        service.close()
+        service.close()
+
+    def test_invalid_arguments_fail_fast(self, small_sbm):
+        with ClusterService(_model(small_sbm)) as service:
+            with pytest.raises(IndexError, match="out of range"):
+                service.submit(10_000, 10)
+            with pytest.raises(ValueError, match="positive"):
+                service.submit(0, 0)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            ClusterService(LACA())
+
+    def test_invalid_scheduler_parameters(self, small_sbm):
+        model = _model(small_sbm)
+        with pytest.raises(ValueError, match="max_batch"):
+            ClusterService(model, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            ClusterService(model, max_wait_s=-1.0)
+
+    def test_engine_failure_propagates_to_futures(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_wait_s=0.1) as service:
+            def boom(_seeds):
+                raise RuntimeError("engine exploded")
+
+            service.model = type(
+                "Broken", (), {"scores_batch": staticmethod(boom)}
+            )()
+            futures = [service.submit(seed, 10) for seed in (0, 1)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="exploded"):
+                    future.result()
+            stats = service.stats()
+        assert stats["errors"] == 2
+
+    def test_cancelled_future_does_not_kill_dispatcher(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_wait_s=0.2, cache_size=0) as service:
+            doomed = service.submit(0, 10)
+            doomed.cancel()  # may lose the race; liveness must hold either way
+            survivor = service.submit(1, 10)
+            assert len(survivor.result(timeout=10)) == 10
+            # The service still answers fresh work after the cancellation.
+            assert len(service.cluster(2, 10)) == 10
+
+    def test_submit_many(self, small_sbm):
+        model = _model(small_sbm)
+        with ClusterService(model, max_wait_s=0.05) as service:
+            futures = service.submit_many([0, 1, 2], size=12)
+            assert all(len(future.result()) == 12 for future in futures)

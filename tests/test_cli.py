@@ -1,5 +1,8 @@
 """Tests for the package CLI and the experiments CLI."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main as cli_main
@@ -71,6 +74,116 @@ class TestReproCLI:
             build_parser().parse_args(
                 ["cluster", "--dataset", "cora", "--seed", "0", "--method", "X"]
             )
+
+    def test_cluster_json_single_seed(self, capsys):
+        code = cli_main(
+            ["cluster", "--dataset", "cora", "--scale", "0.1", "--seed", "0",
+             "--json"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["seed"] == 0
+        assert record["method"] == "LACA (C)"
+        assert len(record["members"]) == record["size"]
+        assert len(record["scores"]) == len(record["members"])
+        assert record["online_s"] > 0.0
+        assert 0.0 <= record["precision"] <= 1.0
+
+    def test_cluster_json_batch_one_line_per_seed(self, capsys):
+        code = cli_main(
+            ["cluster", "--dataset", "cora", "--scale", "0.1",
+             "--seed", "0", "7", "23", "--json"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [record["seed"] for record in records] == [0, 7, 23]
+        for record in records:
+            assert len(record["members"]) == record["size"]
+            assert "scores" in record and "online_s" in record
+
+
+class TestServeCLI:
+    def test_serve_streams_json_results(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("0\n7\n23\n"))
+        code = cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
+                         "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert [record["seed"] for record in records] == [0, 7, 23]
+        for record in records:
+            assert len(record["members"]) == record["size"]
+            assert record["latency_s"] > 0.0
+
+    def test_serve_queries_file_with_sizes_and_comments(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# comment line\n0 10\n\n7 15  # trailing\n")
+        code = cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
+                         "--queries", str(queries)])
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert [(record["seed"], record["size"]) for record in records] == [
+            (0, 10), (7, 15),
+        ]
+
+    def test_serve_round_trips_saved_model(self, small_sbm, tmp_path, capsys):
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        model_path = tmp_path / "model.npz"
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 10\n")
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--queries", str(queries),
+                         "--save-model", str(model_path)])
+        assert code == 0
+        first = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert model_path.exists()
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--model", str(model_path),
+                         "--queries", str(queries)])
+        assert code == 0
+        second = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert second["members"] == first["members"]
+
+    def test_serve_without_size_or_truth_fails(self, small_sbm, tmp_path):
+        from repro.graphs.graph import AttributedGraph
+
+        bare = AttributedGraph(adjacency=small_sbm.adjacency)
+        graph_path = save_graph(bare, tmp_path / "bare")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0\n")
+        with pytest.raises(SystemExit, match="--size"):
+            cli_main(["serve", "--graph", str(graph_path),
+                      "--queries", str(queries)])
+
+    def test_serve_rejects_malformed_query_line(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("not-a-seed\n")
+        with pytest.raises(SystemExit, match="line 1"):
+            cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
+                      "--queries", str(queries)])
+
+    def test_serve_rejects_out_of_range_seed_naming_line(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 10\n999999\n-1 10\n")
+        with pytest.raises(SystemExit, match="line 2: seed 999999"):
+            cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
+                      "--queries", str(queries)])
+
+    def test_serve_missing_queries_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read queries file"):
+            cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
+                      "--queries", str(tmp_path / "typo.txt")])
+
+    def test_serve_rejects_nonpositive_size(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 0\n")
+        with pytest.raises(SystemExit, match="line 1.*positive"):
+            cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
+                      "--queries", str(queries)])
 
 
 class TestExperimentsCLI:
