@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Benchmark report: record the serving-path performance trajectory.
+
+Runs the performance suite that matters for the serving north star and
+writes one JSON document (``BENCH_pr3.json`` by default) so the perf
+trajectory is tracked in-repo instead of vanishing with each session:
+
+* single-seed queries/sec — frontier kernels + workspace vs. the
+  retained pre-PR3 reference kernels, on the Fig. 10 scalability graph
+  at default ε (the PR 3 acceptance evidence) and at the registered
+  scale;
+* batched seeds/sec across block widths (the PR 1 win, re-measured);
+* serving latency — p50/p95 and occupancy through a live
+  :class:`ClusterService` under concurrent load (the PR 2 win);
+* per-engine iteration work — the Theorem IV.1 cost-model numbers.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py              # full, ~2 min
+    PYTHONPATH=src python scripts/bench_report.py --smoke      # CI, ~30 s
+    PYTHONPATH=src python scripts/bench_report.py --out X.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from concurrent.futures import wait
+
+import numpy as np
+
+import repro.core.laca as laca_mod
+from repro.core.config import LacaConfig
+from repro.core.laca import laca_scores
+from repro.core.pipeline import LACA
+from repro.diffusion import reference as ref
+from repro.graphs.datasets import load_dataset
+from repro.serving import ClusterService
+
+REFERENCE_PATCHES = {
+    "greedy_diffuse": (
+        lambda g, f, alpha, epsilon, workspace=None, f_support=None:
+        ref.reference_greedy_diffuse(g, f, alpha, epsilon)
+    ),
+    "nongreedy_diffuse": (
+        lambda g, f, alpha, epsilon, workspace=None, f_support=None:
+        ref.reference_nongreedy_diffuse(g, f, alpha, epsilon)
+    ),
+    "adaptive_diffuse": (
+        lambda g, f, alpha, sigma, epsilon, workspace=None, f_support=None:
+        ref.reference_adaptive_diffuse(g, f, alpha, sigma, epsilon)
+    ),
+    "push_diffuse": (
+        lambda g, f, alpha, epsilon, workspace=None, f_support=None:
+        ref.reference_push_diffuse(g, f, alpha, epsilon)
+    ),
+}
+
+
+class _reference_kernels:
+    """Context manager swapping laca's engines for the pre-PR3 kernels."""
+
+    def __enter__(self):
+        self._saved = {name: getattr(laca_mod, name) for name in REFERENCE_PATCHES}
+        for name, patched in REFERENCE_PATCHES.items():
+            setattr(laca_mod, name, patched)
+
+    def __exit__(self, *_exc):
+        for name, saved in self._saved.items():
+            setattr(laca_mod, name, saved)
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_single_seed(scale: float, engines, n_seeds: int, repeats: int) -> dict:
+    graph = load_dataset("arxiv", scale=scale)
+    seeds = [
+        int(s)
+        for s in np.random.default_rng(0).choice(graph.n, n_seeds, replace=False)
+    ]
+    out = {
+        "graph": "arxiv",
+        "scale": scale,
+        "n": graph.n,
+        "nnz": int(graph.adjacency.nnz),
+        "epsilon": LacaConfig().epsilon,
+        "n_seeds": n_seeds,
+        "engines": {},
+    }
+    for engine in engines:
+        config = LacaConfig(metric="cosine", diffusion=engine)
+        model = LACA(config).fit(graph)
+        workspace = model.make_workspace()
+
+        def frontier():
+            for seed in seeds:
+                laca_scores(
+                    graph, seed, config=config, tnam=model.tnam, workspace=workspace
+                )
+
+        def reference():
+            for seed in seeds:
+                laca_scores(graph, seed, config=config, tnam=model.tnam)
+
+        frontier()  # warm
+        new_s = _best_of(repeats, frontier)
+        with _reference_kernels():
+            reference()  # warm
+            old_s = _best_of(max(1, repeats - 1), reference)
+        out["engines"][engine] = {
+            "reference_ms_per_query": round(old_s / n_seeds * 1e3, 3),
+            "frontier_ms_per_query": round(new_s / n_seeds * 1e3, 3),
+            "reference_qps": round(n_seeds / old_s, 1),
+            "frontier_qps": round(n_seeds / new_s, 1),
+            "speedup": round(old_s / new_s, 2),
+        }
+    return out
+
+
+def bench_batched(scale: float, n_seeds: int) -> dict:
+    graph = load_dataset("arxiv", scale=scale)
+    model = LACA(LacaConfig(metric="cosine", diffusion="greedy")).fit(graph)
+    seeds = [
+        int(s)
+        for s in np.random.default_rng(1).choice(graph.n, n_seeds, replace=False)
+    ]
+    model.cluster_many(seeds[:4], size=20)  # warm
+    rates = {}
+    for batch in (1, 16, 64):
+        elapsed = _best_of(
+            2, lambda: model.cluster_many(seeds, size=20, batch_size=batch)
+        )
+        rates[str(batch)] = round(len(seeds) / elapsed, 1)
+    return {
+        "graph": "arxiv",
+        "scale": scale,
+        "engine": "greedy",
+        "seeds_per_s_by_batch": rates,
+        "batch64_vs_sequential": round(rates["64"] / rates["1"], 2),
+    }
+
+
+def bench_serving(scale: float, n_requests: int) -> dict:
+    graph = load_dataset("arxiv", scale=scale)
+    model = LACA(LacaConfig(metric="cosine", diffusion="greedy")).fit(graph)
+    rng = np.random.default_rng(2)
+    seeds = rng.choice(graph.n, size=n_requests, replace=True)
+    with ClusterService(model, max_batch=32, max_wait_s=0.002, cache_size=0) as svc:
+        futures = [svc.submit(int(s), 20) for s in seeds]
+        wait(futures)
+        stats = svc.stats()
+    return {
+        "graph": "arxiv",
+        "scale": scale,
+        "requests": n_requests,
+        "p50_latency_ms": round(stats["p50_latency_s"] * 1e3, 3),
+        "p95_latency_ms": round(stats["p95_latency_s"] * 1e3, 3),
+        "mean_batch_occupancy": stats["mean_batch_occupancy"],
+        "seeds_per_s": stats["seeds_per_s"],
+    }
+
+
+def bench_engine_work(scale: float) -> dict:
+    """Theorem IV.1 cost-model numbers per engine (iterations / work)."""
+    graph = load_dataset("arxiv", scale=scale)
+    per_engine = {}
+    for engine in ("greedy", "nongreedy", "adaptive", "push"):
+        config = LacaConfig(metric="cosine", diffusion=engine)
+        model = LACA(config).fit(graph)
+        result = laca_scores(graph, 123, config=config, tnam=model.tnam)
+        per_engine[engine] = {
+            "rwr_iterations": int(result.rwr.iterations),
+            "rwr_work": round(float(result.rwr.work), 1),
+            "bdd_iterations": int(result.bdd.iterations),
+            "bdd_work": round(float(result.bdd.work), 1),
+            "score_support": int(result.support_size),
+            "work_bound": round(1.0 / ((1.0 - config.alpha) * config.epsilon), 1),
+        }
+    return {"graph": "arxiv", "scale": scale, "seed": 123, "engines": per_engine}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes for CI (same shape, smaller graphs)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        big_scale, small_scale, n_seeds, repeats = 4.0, 0.5, 4, 1
+        batch_seeds, serve_requests = 64, 64
+    else:
+        big_scale, small_scale, n_seeds, repeats = 21.0, 1.0, 8, 3
+        batch_seeds, serve_requests = 192, 256
+
+    started = time.time()
+    report = {
+        "pr": 3,
+        "smoke": args.smoke,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        # The headline measurement: the Fig. 10 scalability graph at the
+        # paper's ogbn-arxiv size (scale 21 ⇒ n = 168k), default ε.
+        "single_seed_scalability": bench_single_seed(
+            big_scale, ("adaptive", "greedy"), n_seeds, repeats
+        ),
+        "single_seed_registered_scale": bench_single_seed(
+            small_scale, ("adaptive", "greedy"), max(8, n_seeds), repeats
+        ),
+        "batched": bench_batched(small_scale, batch_seeds),
+        "serving": bench_serving(small_scale, serve_requests),
+        "engine_work": bench_engine_work(small_scale),
+    }
+    report["wall_seconds"] = round(time.time() - started, 1)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    headline = report["single_seed_scalability"]["engines"]
+    for engine, row in headline.items():
+        print(
+            f"{engine:10s} {row['reference_qps']:7.1f} -> {row['frontier_qps']:7.1f} "
+            f"q/s  ({row['speedup']:.2f}x)"
+        )
+    print(f"report written to {args.out} ({report['wall_seconds']}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

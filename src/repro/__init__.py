@@ -34,6 +34,7 @@ Subpackages
 from .graphs import AttributedGraph, load_dataset, dataset_names
 from .attributes import build_tnam, snas_matrix, TNAM
 from .diffusion import (
+    DiffusionWorkspace,
     adaptive_diffuse,
     batch_adaptive_diffuse,
     batch_diffuse,
@@ -66,6 +67,7 @@ __all__ = [
     "build_tnam",
     "snas_matrix",
     "TNAM",
+    "DiffusionWorkspace",
     "adaptive_diffuse",
     "batch_adaptive_diffuse",
     "batch_diffuse",

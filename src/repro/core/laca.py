@@ -21,6 +21,7 @@ from ..diffusion.batch import BatchDiffusionResult, batch_diffuse
 from ..diffusion.greedy import greedy_diffuse
 from ..diffusion.nongreedy import nongreedy_diffuse
 from ..diffusion.push import push_diffuse
+from ..diffusion.workspace import DiffusionWorkspace
 from ..graphs.graph import AttributedGraph
 from .config import LacaConfig
 
@@ -48,18 +49,26 @@ class LacaResult:
     rwr: DiffusionResult
     bdd: DiffusionResult
     psi: np.ndarray | None
+    #: Sorted indices of the non-zero scores when the engines tracked
+    #: their frontier (always, for the built-in engines); lets cluster
+    #: extraction stay O(support) instead of O(n).
+    scores_support: np.ndarray | None = None
 
     @property
     def support_size(self) -> int:
+        if self.scores_support is not None:
+            return int(self.scores_support.size)
         return int(np.count_nonzero(self.scores))
 
     def support_indices(self) -> np.ndarray:
         """Nodes the diffusion actually touched (the explored region)."""
+        if self.scores_support is not None:
+            return self.scores_support
         return np.flatnonzero(self.scores)
 
     def cluster(self, size: int) -> np.ndarray:
         """Top-``size`` nodes by BDD score (seed always included)."""
-        return top_k_cluster(self.scores, size, self.seed)
+        return top_k_cluster(self.scores, size, self.seed, support=self.scores_support)
 
 
 def _diffuse(
@@ -67,17 +76,20 @@ def _diffuse(
     f: np.ndarray,
     config: LacaConfig,
     epsilon: float,
+    workspace: DiffusionWorkspace | None = None,
+    f_support: np.ndarray | None = None,
 ) -> DiffusionResult:
+    shared = {"workspace": workspace, "f_support": f_support}
     if config.diffusion == "adaptive":
         return adaptive_diffuse(
-            graph, f, alpha=config.alpha, sigma=config.sigma, epsilon=epsilon
+            graph, f, alpha=config.alpha, sigma=config.sigma, epsilon=epsilon, **shared
         )
     if config.diffusion == "greedy":
-        return greedy_diffuse(graph, f, alpha=config.alpha, epsilon=epsilon)
+        return greedy_diffuse(graph, f, alpha=config.alpha, epsilon=epsilon, **shared)
     if config.diffusion == "nongreedy":
-        return nongreedy_diffuse(graph, f, alpha=config.alpha, epsilon=epsilon)
+        return nongreedy_diffuse(graph, f, alpha=config.alpha, epsilon=epsilon, **shared)
     if config.diffusion == "push":
-        return push_diffuse(graph, f, alpha=config.alpha, epsilon=epsilon)
+        return push_diffuse(graph, f, alpha=config.alpha, epsilon=epsilon, **shared)
     raise ValueError(f"unknown diffusion engine {config.diffusion!r}")
 
 
@@ -86,6 +98,7 @@ def laca_scores(
     seed: int,
     config: LacaConfig | None = None,
     tnam: TNAM | None = None,
+    workspace: DiffusionWorkspace | None = None,
 ) -> LacaResult:
     """Run Algo 4 and return the approximate BDD vector ρ′.
 
@@ -94,6 +107,12 @@ def laca_scores(
     ``use_snas=False`` ablation (and non-attributed graphs) replace the
     SNAS by the identity, for which Eq. (9) collapses to
     ``φ_i = π′_i · d(vi)`` and no TNAM is needed.
+
+    With a :class:`~repro.diffusion.DiffusionWorkspace` the whole query
+    runs on preallocated buffers — a steady-state query in the local
+    regime performs zero length-``n`` allocations — and the returned
+    arrays are views valid only until the workspace's next query.
+    Results are bitwise identical either way.
     """
     config = config or LacaConfig()
     config.validate()
@@ -109,16 +128,33 @@ def laca_scores(
     degrees = graph.degrees
 
     # Step 1: estimate the RWR vector π′ by diffusing the one-hot seed.
-    one_hot = np.zeros(graph.n)
-    one_hot[seed] = 1.0
-    rwr_result = _diffuse(graph, one_hot, config, config.epsilon)
+    seed_index = np.array([seed], dtype=np.int64)
+    if workspace is not None:
+        workspace.begin()
+        one_hot = workspace.input
+        one_hot[seed] = 1.0
+        workspace.note_input(seed_index)
+    else:
+        one_hot = np.zeros(graph.n)
+        one_hot[seed] = 1.0
+    rwr_result = _diffuse(
+        graph, one_hot, config, config.epsilon, workspace, seed_index
+    )
     pi = rwr_result.q
-    support = np.flatnonzero(pi)
+    if rwr_result.touched is not None:
+        support = rwr_result.touched[pi[rwr_result.touched] != 0.0]
+    else:
+        support = np.flatnonzero(pi)
 
     # Step 2: ψ = Σ_{i∈supp(π′)} π′_i z(i) (Eq. 12), then
     # φ′_i = (ψ · z(i)) · d(vi) on the same support (Eq. 13).
-    phi = np.zeros(graph.n)
     psi = None
+    if workspace is not None:
+        phi = workspace.input  # recycled in place: clear the seed staging
+        phi[seed] = 0.0
+        workspace.note_input(support)
+    else:
+        phi = np.zeros(graph.n)
     if use_snas:
         z_rows = tnam.z[support]
         psi = pi[support] @ z_rows
@@ -129,17 +165,38 @@ def laca_scores(
     # Step 3: diffuse φ′ with threshold ε·‖φ′‖₁ and divide by degrees.
     phi_mass = float(phi.sum())
     if phi_mass <= 0.0:
+        if workspace is not None:
+            slot = workspace.acquire()
+            empty_q, empty_r, scores = slot.q, slot.r, workspace.scores
+        else:
+            empty_q, empty_r, scores = (
+                np.zeros(graph.n), np.zeros(graph.n), np.zeros(graph.n),
+            )
         empty = DiffusionResult(
-            q=np.zeros(graph.n), residual=np.zeros(graph.n), iterations=0
+            q=empty_q, residual=empty_r, iterations=0,
+            touched=np.empty(0, dtype=np.int64),
         )
-        return LacaResult(scores=np.zeros(graph.n), seed=seed, rwr=rwr_result,
-                          bdd=empty, psi=psi)
-    bdd_result = _diffuse(graph, phi, config, config.epsilon * phi_mass)
-    scores = bdd_result.q.copy()
-    nonzero = np.flatnonzero(scores)
-    scores[nonzero] /= degrees[nonzero]
+        return LacaResult(scores=scores, seed=seed, rwr=rwr_result,
+                          bdd=empty, psi=psi,
+                          scores_support=np.empty(0, dtype=np.int64))
+    bdd_result = _diffuse(
+        graph, phi, config, config.epsilon * phi_mass, workspace, support
+    )
+    bdd_q = bdd_result.q
+    if bdd_result.touched is not None:
+        bdd_support = bdd_result.touched[bdd_q[bdd_result.touched] != 0.0]
+    else:
+        bdd_support = np.flatnonzero(bdd_q)
+    if workspace is not None:
+        scores = workspace.scores
+        scores[bdd_support] = bdd_q[bdd_support] / degrees[bdd_support]
+        workspace.note_scores(bdd_support)
+    else:
+        scores = bdd_q.copy()
+        scores[bdd_support] /= degrees[bdd_support]
     return LacaResult(
-        scores=scores, seed=seed, rwr=rwr_result, bdd=bdd_result, psi=psi
+        scores=scores, seed=seed, rwr=rwr_result, bdd=bdd_result, psi=psi,
+        scores_support=bdd_support,
     )
 
 
@@ -199,13 +256,13 @@ def laca_scores_batch(
     Column ``b`` of the result matches ``laca_scores(graph, seeds[b])``
     run with the same config — exactly on non-SNAS graphs, and up to
     floating-point accumulation order on the SNAS path, where Step 2's
-    batched mat-mats sum over all ``n`` rows instead of each column's
-    support slice (O(1e-16) relative noise; the diffusion schedules
-    themselves are identical).  Step 1 diffuses all one-hot seed
-    columns as one ``n × B`` block, Step 2 computes every ψ via one
-    ``Πᵀ Z`` mat-mat and every φ′ via one ``Z Ψᵀ`` mat-mat
-    (Eqs. 12/13), and Step 3 block-diffuses Φ′ with per-column
-    thresholds ``ε·‖φ′_b‖₁``.
+    batched mat-mats sum over the block's union support instead of each
+    column's own support slice (O(1e-16) relative noise; the diffusion
+    schedules themselves are identical).  Step 1 diffuses all one-hot
+    seed columns as one ``n × B`` block, Step 2 computes every ψ via one
+    ``Π[U]ᵀ Z[U]`` mat-mat and every φ′ via one ``Z[U] Ψᵀ`` mat-mat over
+    the union support ``U`` (Eqs. 12/13), and Step 3 block-diffuses Φ′
+    with per-column thresholds ``ε·‖φ′_b‖₁``.
     Duplicate seeds are answered independently (identical columns); a
     ``"push"`` diffusion config degrades to a per-column loop because the
     queue-based engine has no block form.
@@ -235,25 +292,37 @@ def laca_scores_batch(
 
     # Step 2 (block): Ψ = Πᵀ Z (Eq. 12, one mat-mat for every column's
     # support sum) and Φ′ = relu(Z Ψᵀ) ⊙ d restricted to each column's
-    # own support (Eq. 13).
+    # own support (Eq. 13).  The mat-mats and the per-column support
+    # mask run on the *union support* of the block — the rows some
+    # column actually reached — so Step 2 costs O(|U|·k·B), not
+    # O(n·k·B), and the old dense n×B ``Phi[Pi == 0.0]`` mask is gone.
     psi = None
     if use_snas:
-        psi = Pi.T @ tnam.z
-        Phi = np.maximum(tnam.z @ psi.T, 0.0) * degrees[:, None]
-        Phi[Pi == 0.0] = 0.0
+        union = np.flatnonzero(Pi.any(axis=1))
+        z_union = tnam.z[union]
+        pi_union = Pi[union]
+        psi = pi_union.T @ z_union
+        phi_union = np.maximum(z_union @ psi.T, 0.0) * degrees[union][:, None]
+        phi_union[pi_union == 0.0] = 0.0
+        masses = phi_union.sum(axis=0)
     else:
         Phi = Pi * degrees[:, None]
+        masses = Phi.sum(axis=0)
 
     # Step 3 (block): diffuse the surviving Φ′ columns with per-column
     # thresholds ε·‖φ′_b‖₁ and divide by degrees.  Zero-mass columns
     # (no positive SNAS mass on the support) keep all-zero scores.
-    masses = Phi.sum(axis=0)
     live = np.flatnonzero(masses > 0.0)
     scores = np.zeros((n, n_queries))
     bdd_result = None
     if live.size:
+        if use_snas:
+            live_block = np.zeros((n, live.size))
+            live_block[union] = phi_union[:, live]
+        else:
+            live_block = Phi[:, live]
         bdd_result = _batch_diffuse_cfg(
-            graph, Phi[:, live], config, config.epsilon * masses[live]
+            graph, live_block, config, config.epsilon * masses[live]
         )
         if live.size < n_queries:
             bdd_result = _expand_columns(bdd_result, live, n_queries)
@@ -292,7 +361,12 @@ def _expand_columns(
     )
 
 
-def top_k_cluster(scores: np.ndarray, size: int, seed: int) -> np.ndarray:
+def top_k_cluster(
+    scores: np.ndarray,
+    size: int,
+    seed: int,
+    support: np.ndarray | None = None,
+) -> np.ndarray:
     """Top-``size`` nodes by score with the seed forced into the cluster.
 
     Ties and zero scores are broken deterministically by node index
@@ -301,8 +375,12 @@ def top_k_cluster(scores: np.ndarray, size: int, seed: int) -> np.ndarray:
     displaces the *lowest-ranked* retained node — the lowest-scoring
     one, breaking score ties by dropping the highest index.
 
-    Selection runs in O(n) via a partition (the per-query hot path)
-    rather than a full O(n log n) sort.
+    Selection runs in O(n) via a partition rather than a full
+    O(n log n) sort; with ``support`` — a sorted index array covering
+    every non-zero (non-negative) score, as tracked by the frontier
+    engines — it drops to O(support), the per-query serving hot path.
+    The result is identical either way (property-tested against a
+    brute-force argsort reference).
     """
     if size <= 0:
         raise ValueError(f"cluster size must be positive, got {size}")
@@ -310,11 +388,23 @@ def top_k_cluster(scores: np.ndarray, size: int, seed: int) -> np.ndarray:
     size = min(size, n)
     if size == n:
         return np.arange(n)
-    # size-th largest value; everything strictly above it is retained,
-    # the remaining slots go to boundary ties in ascending-index order.
-    kth = scores[np.argpartition(scores, n - size)[n - size :]].min()
-    above = np.flatnonzero(scores > kth)
-    tied = np.flatnonzero(scores == kth)
+    above = tied = None
+    if support is not None and size <= support.size < n:
+        values = scores[support]
+        kth = values[
+            np.argpartition(values, support.size - size)[support.size - size :]
+        ].min()
+        if kth > 0.0:
+            # All retained nodes score above zero, hence live in the
+            # support; the dense scan below would find exactly these.
+            above = support[values > kth]
+            tied = support[values == kth]
+    if above is None:
+        # size-th largest value; everything strictly above it is retained,
+        # the remaining slots go to boundary ties in ascending-index order.
+        kth = scores[np.argpartition(scores, n - size)[n - size :]].min()
+        above = np.flatnonzero(scores > kth)
+        tied = np.flatnonzero(scores == kth)
     if seed in above or seed in tied[: size - above.size]:
         cluster = np.concatenate([above, tied[: size - above.size]])
     else:

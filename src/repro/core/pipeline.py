@@ -26,6 +26,7 @@ import time
 import numpy as np
 
 from ..attributes.tnam import TNAM, build_tnam
+from ..diffusion.workspace import DiffusionWorkspace
 from ..graphs.graph import AttributedGraph
 from .config import LacaConfig
 from .laca import (
@@ -86,19 +87,38 @@ class LACA:
         return self.graph
 
     # ------------------------------------------------------------------
-    def scores(self, seed: int) -> LacaResult:
+    def make_workspace(self) -> DiffusionWorkspace:
+        """Preallocated per-thread scratch for the single-seed hot path.
+
+        Thread one workspace through repeated :meth:`scores` /
+        :meth:`cluster` calls and steady-state queries perform zero
+        length-``n`` allocations (results become views valid until the
+        next query on the same workspace).  One workspace per thread —
+        the serving dispatcher owns its own.
+        """
+        return DiffusionWorkspace(self._require_fit())
+
+    def scores(self, seed: int, workspace: DiffusionWorkspace | None = None) -> LacaResult:
         """Online stage: approximate BDD vector ρ′ for ``seed`` (Algo 4)."""
         graph = self._require_fit()
-        return laca_scores(graph, seed, config=self.config, tnam=self.tnam)
+        return laca_scores(
+            graph, seed, config=self.config, tnam=self.tnam, workspace=workspace
+        )
 
     def score_vector(self, seed: int) -> np.ndarray:
         """Plain ρ′ array (for harness integration)."""
         return self.scores(seed).scores
 
-    def cluster(self, seed: int, size: int) -> np.ndarray:
-        """Predicted local cluster: top-``size`` nodes of ρ′."""
-        result = self.scores(seed)
-        return top_k_cluster(result.scores, size, seed)
+    def cluster(
+        self, seed: int, size: int, workspace: DiffusionWorkspace | None = None
+    ) -> np.ndarray:
+        """Predicted local cluster: top-``size`` nodes of ρ′.
+
+        The returned index array is always freshly allocated (never a
+        workspace view), so it is safe to retain or cache.
+        """
+        result = self.scores(seed, workspace=workspace)
+        return top_k_cluster(result.scores, size, seed, support=result.scores_support)
 
     def scores_batch(self, seeds) -> LacaBatchResult:
         """Answer many seed queries with one block diffusion (Algo 4 ×B).

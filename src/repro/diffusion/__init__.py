@@ -14,9 +14,11 @@ from .greedy import greedy_diffuse
 from .nongreedy import nongreedy_diffuse
 from .adaptive import adaptive_diffuse
 from .push import push_diffuse
+from .workspace import DiffusionWorkspace
 
 __all__ = [
     "DiffusionResult",
+    "DiffusionWorkspace",
     "BatchDiffusionResult",
     "validate_diffusion_inputs",
     "validate_batch_inputs",

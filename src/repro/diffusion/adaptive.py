@@ -9,6 +9,15 @@ batches of Algo 1.  Theorem IV.2 gives the same Eq. (14) guarantee and
 complexity as GreedyDiffuse; Lemma IV.3 bounds
 ``|supp(q)| ≤ vol(q) ≤ β‖f‖₁ / ((1-α)ε)`` with ``β ∈ [1, 2]``
 (``β = 1`` when ``σ ≥ 1``, i.e. pure greedy).
+
+Like the other frontier engines the loop maintains the residual support
+explicitly (sorted, exact between iterations), so the per-iteration
+ratio / volume bookkeeping, the batch selection, and — in the local
+regime — the scatter all cost O(touched), not Θ(n).  The support
+ordering is preserved exactly, which keeps not just the outputs but the
+*schedule* (the per-iteration greedy/one-shot decisions, which depend on
+``vol(r)`` float accumulation) bitwise identical to
+:func:`repro.diffusion.reference.reference_adaptive_diffuse`.
 """
 
 from __future__ import annotations
@@ -16,8 +25,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult, validate_diffusion_inputs
-from .greedy import _scatter
+from .base import DiffusionResult, full_scatter_cost, selective_scatter_is_cheaper
+from .workspace import (
+    DiffusionWorkspace,
+    collect_touched,
+    engine_setup,
+    scatter_step,
+    sorted_union,
+)
 
 __all__ = ["adaptive_diffuse"]
 
@@ -30,6 +45,8 @@ def adaptive_diffuse(
     epsilon: float = 1e-6,
     max_iterations: int = 1_000_000,
     track_history: bool = False,
+    workspace: DiffusionWorkspace | None = None,
+    f_support: np.ndarray | None = None,
 ) -> DiffusionResult:
     """Run AdaptiveDiffuse on input vector ``f``.
 
@@ -39,29 +56,74 @@ def adaptive_diffuse(
         Balancing parameter in [0, 1].  Smaller values allow more
         non-greedy iterations; ``σ ≥ 1`` makes the algorithm identical to
         GreedyDiffuse (Lemma IV.3's ``β = 1`` case).
+    workspace / f_support:
+        Same contract as :func:`~repro.diffusion.greedy.greedy_diffuse`.
     """
-    f = validate_diffusion_inputs(f, graph.n, alpha, epsilon)
     if sigma < 0.0:
         raise ValueError(f"sigma must be non-negative, got {sigma}")
+    f, slot, support_set, staging = engine_setup(
+        graph, f, alpha, epsilon, workspace, f_support
+    )
+    q, r = slot.q, slot.r
     degrees = graph.degrees
-    n = graph.n
-    r = f.copy()
-    q = np.zeros(n)
     history: list[float] = []
-    budget = float(np.abs(f).sum()) / ((1.0 - alpha) * epsilon)
+    # f is validated non-negative, so f.sum() ≡ np.abs(f).sum() bitwise.
+    budget = float(f.sum()) / ((1.0 - alpha) * epsilon)
     c_tot = 0.0
     work = 0.0
     iterations = 0
     greedy_steps = 0
     nongreedy_steps = 0
 
-    while iterations < max_iterations:
-        gamma_support = np.flatnonzero(r >= epsilon * degrees)
-        residual_support = np.count_nonzero(r)
-        if residual_support == 0:
-            break
-        ratio = gamma_support.shape[0] / residual_support
-        vol_r = float(degrees[r != 0].sum())
+    n = graph.n
+
+    # ``support_set`` is a sorted superset of supp(r); ``None`` flags the
+    # dense regime (support graph-wide / unknown after a full mat-vec),
+    # where iterations run the reference's dense C-speed masks instead of
+    # index gathers.  Keeping the set sorted keeps every float
+    # accumulation (vol_r, the scatters) in ascending-node order — the
+    # bitwise contract extends to the *schedule*, since vol_r feeds the
+    # one-shot/greedy decision.  A volume-local one-shot scatter
+    # re-localizes the support exactly.
+    while True:
+        if iterations >= max_iterations:
+            raise RuntimeError(
+                f"AdaptiveDiffuse did not terminate within {max_iterations} iterations"
+            )
+        if support_set is not None and 3 * support_set.size > n:
+            support_set = None
+        if support_set is None:
+            nonzero = None  # materialized only if a local scatter needs it
+            n_nonzero = int(np.count_nonzero(r))
+            if n_nonzero == 0:
+                break
+            support = np.flatnonzero(r >= epsilon * degrees)
+            n_above = int(support.size)
+            vol_r = None
+        else:
+            if support_set.size == 0:
+                break
+            values = r[support_set]
+            nonzero_mask = values != 0.0
+            n_nonzero = int(np.count_nonzero(nonzero_mask))
+            if n_nonzero == 0:
+                break
+            above_mask = values >= epsilon * degrees[support_set]
+            n_above = int(np.count_nonzero(above_mask))
+            support = None  # selected lazily in the greedy branch
+            nonzero = support_set[nonzero_mask]
+            vol_r = None
+        ratio = n_above / n_nonzero
+
+        # vol(r) is only consulted when the coverage ratio clears σ, so
+        # the Θ(supp) volume scan is skipped for every iteration the
+        # ratio already rules out (the long greedy tail) — the short-
+        # circuit makes the schedule identical to computing it eagerly.
+        if ratio > sigma:
+            if support_set is None:
+                vol_r = float(degrees[r != 0.0].sum())
+            else:
+                vol_r = float(degrees[nonzero].sum())
 
         if ratio > sigma and c_tot + vol_r < budget:
             # Non-greedy: convert and scatter every residual at once.
@@ -69,26 +131,66 @@ def adaptive_diffuse(
             nongreedy_steps += 1
             c_tot += vol_r
             work += vol_r
-            q += (1.0 - alpha) * r
-            r = alpha * graph.apply_transition(r)
+            if support_set is None:
+                q += (1.0 - alpha) * r
+            else:
+                q[support_set] += (1.0 - alpha) * values
+            if support_set is None and not selective_scatter_is_cheaper(
+                vol_r, full_scatter_cost(graph.adjacency.nnz, n)
+            ):
+                # r is dense here: one dense divide beats staging gathers.
+                scratch = None if workspace is None else workspace.scratch
+                dense = graph.adjacency.dot(np.divide(r, degrees, out=scratch))
+                np.multiply(dense, alpha, out=r)
+                slot.note_all()
+            else:
+                if nonzero is None:
+                    nonzero = np.flatnonzero(r)
+                touched, sums, dense = scatter_step(
+                    graph, nonzero, r[nonzero], vol_r, staging
+                )
+                if dense is None:
+                    if support_set is None:
+                        r[nonzero] = 0.0
+                    else:
+                        r[support_set] = 0.0
+                    r[touched] = alpha * sums
+                    support_set = touched
+                    slot.note(touched)
+                else:
+                    np.multiply(dense, alpha, out=r)
+                    support_set = None
+                    slot.note_all()
         else:
             # Greedy: convert only the above-threshold batch (Algo 1 body).
-            if gamma_support.shape[0] == 0:
+            if n_above == 0:
                 break
             iterations += 1
             greedy_steps += 1
-            gamma = np.zeros(n)
-            gamma[gamma_support] = r[gamma_support]
-            r[gamma_support] = 0.0
-            q[gamma_support] += (1.0 - alpha) * gamma[gamma_support]
-            r += alpha * _scatter(graph, gamma, gamma_support)
-            work += float(degrees[gamma_support].sum())
+            if support is None:
+                support = support_set[above_mask]
+            batch = r[support]  # fancy indexing copies — the batch γ
+            volume = float(degrees[support].sum())
+            work += volume
+            r[support] = 0.0
+            q[support] += (1.0 - alpha) * batch
+            touched, sums, dense = scatter_step(graph, support, batch, volume, staging)
+            if dense is None:
+                r[touched] += alpha * sums
+                if support_set is not None:
+                    support_set = sorted_union(
+                        support_set[nonzero_mask & ~above_mask], touched
+                    )
+                    slot.note(touched)
+                else:
+                    slot.note(touched)  # stays dense: supp(r) is still wide
+            else:
+                dense *= alpha
+                r += dense
+                support_set = None
+                slot.note_all()
         if track_history:
             history.append(float(np.abs(r).sum()))
-    else:
-        raise RuntimeError(
-            f"AdaptiveDiffuse did not terminate within {max_iterations} iterations"
-        )
 
     return DiffusionResult(
         q=q,
@@ -98,4 +200,5 @@ def adaptive_diffuse(
         nongreedy_steps=nongreedy_steps,
         work=work,
         residual_history=history,
+        touched=collect_touched(slot),
     )

@@ -34,7 +34,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult
+from .base import (
+    DiffusionResult,
+    full_scatter_cost,
+    selective_scatter_is_cheaper,
+)
 from .push import push_diffuse
 
 __all__ = [
@@ -127,12 +131,6 @@ def validate_batch_inputs(
         raise ValueError("diffusion threshold epsilon must be positive")
     return F, eps
 
-
-#: Selection densities at or below this scatter through a sparse Γ
-#: mat-mat whose cost is the volume of the selected supports (the block
-#: analog of the sequential engines' selective scatter); denser blocks
-#: use one dense mat-mat, which is faster once most entries move.
-_SPARSE_LIMIT = 0.125
 
 #: Retired columns ride along (masked) until fewer than this fraction of
 #: the working block is still converging, then the block is compacted.
@@ -249,7 +247,12 @@ def _block_diffuse(
             greedy_steps[active[alive & ~one_shot]] += 1
 
         saturated = alive.all() and int(counts.min()) == n and sel is above
-        n_selected = int(counts.sum()) if sel is above else int(np.count_nonzero(sel))
+        # Per-column selected volume: the work the scatter actually does,
+        # and the quantity the kernel switch compares against the dense
+        # mat-mat cost (volume-based, not selection-count-based — a few
+        # selected hubs can cover most of the graph's edges).
+        sel_vol = degrees @ sel
+        n_alive = int(np.count_nonzero(alive))
 
         if saturated:
             # Every residual converts (the non-greedy regime): Γ = R.
@@ -258,19 +261,19 @@ def _block_diffuse(
             scaled = R / dcol
             R = adjacency.dot(scaled)
             R *= alpha
-        elif n_selected <= _SPARSE_LIMIT * sel.size:
+        elif selective_scatter_is_cheaper(
+            float(sel_vol.sum()), full_scatter_cost(adjacency.nnz, n, n_alive)
+        ):
             # Local regime: route the scatter through a sparse Γ so the
             # mat-mat costs vol(supp(Γ)), not nnz(A)·B (Eq. 16, batched
             # analog of the selective scatter).
             rows, cols = np.nonzero(sel)
             data = R[rows, cols]
             if mode != "adaptive":
-                work_rows = np.bincount(cols, weights=degrees[rows], minlength=alive.size)
-                work[active] += work_rows
+                work[active] += sel_vol
             elif not one_shot.all():
-                gw = np.bincount(cols, weights=degrees[rows], minlength=alive.size)
                 sel_g = alive & ~one_shot
-                work[active[sel_g]] += gw[sel_g]
+                work[active[sel_g]] += sel_vol[sel_g]
             Q[rows, cols] += (1.0 - alpha) * data
             R[rows, cols] = 0.0
             scatter = adjacency.dot(
@@ -280,11 +283,10 @@ def _block_diffuse(
         else:
             Gamma = np.where(sel, R, 0.0)
             if mode != "adaptive":
-                work[active] += degrees @ sel
+                work[active] += sel_vol
             elif not one_shot.all():
-                gw = degrees @ above
                 sel_g = alive & ~one_shot
-                work[active[sel_g]] += gw[sel_g]
+                work[active[sel_g]] += sel_vol[sel_g]
             Q += (1.0 - alpha) * Gamma
             R -= Gamma
             Gamma /= dcol

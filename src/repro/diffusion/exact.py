@@ -20,7 +20,7 @@ __all__ = ["exact_diffusion", "exact_rwr", "rwr_matrix"]
 def _system_matrix(graph: AttributedGraph, alpha: float) -> sp.csc_matrix:
     """``(I - αP)ᵀ`` in CSC form for the direct solver."""
     n = graph.n
-    inv_deg = sp.diags(1.0 / graph.degrees)
+    inv_deg = sp.diags(graph.inv_degrees)  # precomputed 1/d, identical values
     transition = inv_deg @ graph.adjacency  # P = D^{-1} A
     return sp.csc_matrix(sp.eye(n) - alpha * transition.T)
 
@@ -51,6 +51,6 @@ def rwr_matrix(graph: AttributedGraph, alpha: float) -> np.ndarray:
     O(n³) — only for the small graphs used to validate exact BDD values.
     """
     n = graph.n
-    inv_deg = np.diag(1.0 / graph.degrees)
+    inv_deg = np.diag(graph.inv_degrees)
     transition = inv_deg @ graph.adjacency.toarray()
     return (1.0 - alpha) * np.linalg.inv(np.eye(n) - alpha * transition)

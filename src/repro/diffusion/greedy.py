@@ -1,11 +1,21 @@
-"""GreedyDiffuse (Algo 1).
+"""GreedyDiffuse (Algo 1) — frontier-local implementation.
 
 Each iteration gathers every residual whose degree-normalized value is at
-or above the threshold (Eq. 15) into a batch vector ``γ``, converts a
-``1-α`` fraction into reserves and scatters the remaining ``α`` fraction
-to neighbors via one sparse mat-vec (Eq. 16).  Terminates when no residual
-clears the threshold, which yields the additive guarantee of Theorem IV.1
-in ``O(max{|supp(f)|, ‖f‖₁ / ((1-α)ε)})`` work.
+or above the threshold (Eq. 15) into a batch ``γ``, converts a ``1-α``
+fraction into reserves and scatters the remaining ``α`` fraction to
+neighbors (Eq. 16).  Terminates when no residual clears the threshold,
+which yields the additive guarantee of Theorem IV.1 in
+``O(max{|supp(f)|, ‖f‖₁ / ((1-α)ε)})`` work.
+
+The loop is organized around an explicit frontier: only a node whose
+residual changed since its last threshold check can newly clear the
+threshold, so each iteration inspects exactly the nodes the previous
+scatter touched — never all ``n``.  The scatter itself picks between a
+volume-proportional CSR gather and one full sparse mat-vec by comparing
+the batch's *volume* (degree sum) against the mat-vec cost; every path
+accumulates in the same order, so outputs are bitwise identical to
+:func:`repro.diffusion.reference.reference_greedy_diffuse` (pinned by
+``tests/diffusion/test_frontier_parity.py``).
 """
 
 from __future__ import annotations
@@ -13,21 +23,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult, validate_diffusion_inputs
+from .base import DiffusionResult
+from .workspace import (
+    DiffusionWorkspace,
+    collect_touched,
+    engine_setup,
+    scatter_step,
+)
 
 __all__ = ["greedy_diffuse"]
-
-#: Support sizes at or below this use the row-slicing scatter, whose work
-#: is proportional to the support volume (the locality regime); larger
-#: batches fall back to a full sparse mat-vec, which is faster in NumPy.
-_SELECTIVE_LIMIT = 64
-
-
-def _scatter(graph: AttributedGraph, gamma: np.ndarray, support: np.ndarray) -> np.ndarray:
-    """``α``-free transition step ``γ P`` choosing the cheaper kernel."""
-    if support.shape[0] <= _SELECTIVE_LIMIT:
-        return graph.apply_transition_selective(gamma, support)
-    return graph.apply_transition(gamma)
 
 
 def greedy_diffuse(
@@ -37,6 +41,8 @@ def greedy_diffuse(
     epsilon: float = 1e-6,
     max_iterations: int = 1_000_000,
     track_history: bool = False,
+    workspace: DiffusionWorkspace | None = None,
+    f_support: np.ndarray | None = None,
 ) -> DiffusionResult:
     """Run GreedyDiffuse on input vector ``f``.
 
@@ -54,33 +60,66 @@ def greedy_diffuse(
         Safety valve; Theorem IV.1's mass argument guarantees termination
         long before this for sane parameters.
     track_history:
-        Record ``‖r‖₁`` after every iteration (used by Fig. 5).
+        Record ``‖r‖₁`` after every iteration (used by Fig. 5).  This is
+        the one diagnostic that costs Θ(n) per iteration.
+    workspace:
+        Optional :class:`DiffusionWorkspace` whose preallocated buffers
+        back ``q``/``r`` — the returned arrays are then views valid until
+        the workspace's next ``begin()``.
+    f_support:
+        Optional sorted index array covering ``supp(f)``; the caller
+        vouches ``f`` is non-negative and zero elsewhere, which lets the
+        engine skip its only length-``n`` input scan.
     """
-    f = validate_diffusion_inputs(f, graph.n, alpha, epsilon)
+    f, slot, candidates, staging = engine_setup(
+        graph, f, alpha, epsilon, workspace, f_support
+    )
+    q, r = slot.q, slot.r
     degrees = graph.degrees
-    r = f.copy()
-    q = np.zeros(graph.n)
     history: list[float] = []
     work = 0.0
     iterations = 0
 
-    while iterations < max_iterations:
-        support = np.flatnonzero(r >= epsilon * degrees)
-        if support.shape[0] == 0:
+    # ``candidates`` is the frontier: every node whose residual changed
+    # since its last threshold check.  ``None`` flags the dense regime —
+    # after a full mat-vec the change set is unknown (and graph-wide), so
+    # iterations fall back to the reference's dense C-speed scan until a
+    # volume-local scatter re-localizes the frontier.  Both selection
+    # paths find the identical support set.
+    n = graph.n
+    while True:
+        if iterations >= max_iterations:
+            raise RuntimeError(
+                f"GreedyDiffuse did not terminate within {max_iterations} iterations"
+            )
+        if candidates is not None and 3 * candidates.size > n:
+            candidates = None
+        if candidates is None:
+            support = np.flatnonzero(r >= epsilon * degrees)
+        else:
+            if candidates.size == 0:
+                break
+            support = candidates[r[candidates] >= epsilon * degrees[candidates]]
+        if support.size == 0:
             break
         iterations += 1
-        gamma = np.zeros(graph.n)
-        gamma[support] = r[support]
+        values = r[support]  # fancy indexing copies — the batch γ
+        volume = float(degrees[support].sum())
+        work += volume
         r[support] = 0.0
-        q[support] += (1.0 - alpha) * gamma[support]
-        r += alpha * _scatter(graph, gamma, support)
-        work += float(degrees[support].sum())
+        q[support] += (1.0 - alpha) * values
+        touched, sums, dense = scatter_step(graph, support, values, volume, staging)
+        if dense is None:
+            r[touched] += alpha * sums
+            candidates = touched
+            slot.note(touched)
+        else:
+            dense *= alpha
+            r += dense
+            candidates = None
+            slot.note_all()
         if track_history:
             history.append(float(np.abs(r).sum()))
-    else:
-        raise RuntimeError(
-            f"GreedyDiffuse did not terminate within {max_iterations} iterations"
-        )
 
     return DiffusionResult(
         q=q,
@@ -89,4 +128,5 @@ def greedy_diffuse(
         greedy_steps=iterations,
         work=work,
         residual_history=history,
+        touched=collect_touched(slot),
     )

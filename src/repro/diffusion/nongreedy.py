@@ -1,14 +1,19 @@
-"""Non-greedy (one-shot) diffusion — Eq. (17) iterated.
+"""Non-greedy (one-shot) diffusion — Eq. (17) iterated, frontier-local.
 
 Every iteration converts a ``1-α`` fraction of *all* residuals into
-reserves and pushes the remaining ``α`` fraction through one full
-transition mat-vec: ``q += (1-α) r;  r ← α r P``.  The residual L1 norm
-decays geometrically (``‖r‖₁ = αᵗ ‖f‖₁``), so convergence is fast, at up
-to O(m) cost per iteration — the trade-off Section IV-B's empirical study
+reserves and pushes the remaining ``α`` fraction through one transition
+step: ``q += (1-α) r;  r ← α r P``.  The residual L1 norm decays
+geometrically (``‖r‖₁ = αᵗ ‖f‖₁``), so convergence is fast, at up to
+O(m) cost per iteration — the trade-off Section IV-B's empirical study
 (our Fig. 5 reproduction) quantifies against GreedyDiffuse.
 
 Stops when every residual is below ``ε·d(vi)``, giving the same Eq. (14)
-guarantee as the other algorithms.
+guarantee as the other algorithms.  The loop tracks the residual support
+explicitly — ``supp(r P)`` is exactly the neighborhood of ``supp(r)`` —
+so the stopping check, the reserve conversion, and (while the support
+volume stays below the mat-vec cost) the transition itself touch only
+the support, not all ``n``.  Outputs are bitwise identical to
+:func:`repro.diffusion.reference.reference_nongreedy_diffuse`.
 """
 
 from __future__ import annotations
@@ -16,7 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult, validate_diffusion_inputs
+from .base import DiffusionResult, full_scatter_cost, selective_scatter_is_cheaper
+from .workspace import (
+    DiffusionWorkspace,
+    collect_touched,
+    engine_setup,
+    scatter_step,
+)
 
 __all__ = ["nongreedy_diffuse"]
 
@@ -28,29 +39,91 @@ def nongreedy_diffuse(
     epsilon: float = 1e-6,
     max_iterations: int = 100_000,
     track_history: bool = False,
+    workspace: DiffusionWorkspace | None = None,
+    f_support: np.ndarray | None = None,
 ) -> DiffusionResult:
-    """Run the non-greedy power-iteration diffusion on ``f``."""
-    f = validate_diffusion_inputs(f, graph.n, alpha, epsilon)
+    """Run the non-greedy power-iteration diffusion on ``f``.
+
+    ``workspace`` / ``f_support`` follow the same contract as
+    :func:`~repro.diffusion.greedy.greedy_diffuse`.
+    """
+    f, slot, support_set, staging = engine_setup(
+        graph, f, alpha, epsilon, workspace, f_support
+    )
+    q, r = slot.q, slot.r
     degrees = graph.degrees
-    r = f.copy()
-    q = np.zeros(graph.n)
     history: list[float] = []
     work = 0.0
     iterations = 0
 
-    while iterations < max_iterations:
-        if not np.any(r >= epsilon * degrees):
-            break
-        iterations += 1
-        work += graph.vector_volume(r)
-        q += (1.0 - alpha) * r
-        r = alpha * graph.apply_transition(r)
+    n = graph.n
+
+    # ``support_set`` is a sorted superset of supp(r); ``None`` flags the
+    # dense regime (support graph-wide / unknown after a full mat-vec),
+    # where iterations run the reference's dense C-speed passes instead
+    # of index gathers — identical arithmetic either way.  A volume-local
+    # scatter re-localizes the support exactly.
+    while True:
+        if iterations >= max_iterations:
+            raise RuntimeError(
+                f"non-greedy diffusion did not terminate within {max_iterations} iterations"
+            )
+        if support_set is not None and 3 * support_set.size > n:
+            support_set = None
+        if support_set is None:
+            if not np.any(r >= epsilon * degrees):
+                break
+            iterations += 1
+            nonzero = np.flatnonzero(r)
+            volume = float(degrees[nonzero].sum())
+            work += volume
+            q += (1.0 - alpha) * r
+            if selective_scatter_is_cheaper(
+                volume, full_scatter_cost(graph.adjacency.nnz, n)
+            ):
+                touched, sums, dense = scatter_step(
+                    graph, nonzero, r[nonzero], volume, staging
+                )
+                if dense is None:
+                    r[nonzero] = 0.0
+                    r[touched] = alpha * sums
+                    support_set = touched
+                    slot.note(touched)
+                else:  # semi-dense route: full replacement
+                    np.multiply(dense, alpha, out=r)
+                    slot.note_all()
+            else:
+                # r is dense here: one dense divide beats staging gathers.
+                scratch = None if workspace is None else workspace.scratch
+                dense = graph.adjacency.dot(np.divide(r, degrees, out=scratch))
+                np.multiply(dense, alpha, out=r)
+                slot.note_all()
+        else:
+            if support_set.size == 0:
+                break
+            values = r[support_set]
+            if not np.any(values >= epsilon * degrees[support_set]):
+                break
+            iterations += 1
+            nonzero_mask = values != 0.0
+            nonzero = support_set[nonzero_mask]
+            volume = float(degrees[nonzero].sum())
+            work += volume
+            q[support_set] += (1.0 - alpha) * values
+            touched, sums, dense = scatter_step(
+                graph, nonzero, values[nonzero_mask], volume, staging
+            )
+            if dense is None:
+                r[support_set] = 0.0
+                r[touched] = alpha * sums
+                support_set = touched
+                slot.note(touched)
+            else:
+                np.multiply(dense, alpha, out=r)
+                support_set = None
+                slot.note_all()
         if track_history:
             history.append(float(np.abs(r).sum()))
-    else:
-        raise RuntimeError(
-            f"non-greedy diffusion did not terminate within {max_iterations} iterations"
-        )
 
     return DiffusionResult(
         q=q,
@@ -59,4 +132,5 @@ def nongreedy_diffuse(
         nongreedy_steps=iterations,
         work=work,
         residual_history=history,
+        touched=collect_touched(slot),
     )

@@ -61,6 +61,8 @@ class AttributedGraph:
     secondary_communities: np.ndarray | None = None
     name: str = "graph"
     _degrees: np.ndarray = field(init=False, repr=False)
+    _inv_degrees: np.ndarray = field(init=False, repr=False)
+    _binary_adjacency: bool = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         adj = sp.csr_matrix(self.adjacency, dtype=np.float64)
@@ -79,6 +81,8 @@ class AttributedGraph:
                 f"graph has {isolated} isolated node(s); the diffusion "
                 "operators require every node to have at least one neighbor"
             )
+        self._inv_degrees = 1.0 / self._degrees
+        self._binary_adjacency = bool(np.all(adj.data == 1.0))
         if self.attributes is not None:
             attrs = normalize_rows(self.attributes)
             if attrs.shape[0] != adj.shape[0]:
@@ -126,6 +130,19 @@ class AttributedGraph:
         return self._degrees
 
     @property
+    def inv_degrees(self) -> np.ndarray:
+        """Precomputed ``1 / degrees`` (one division at construction).
+
+        Consumers that need the reciprocal (the exact solver's ``D^{-1}``,
+        analysis code) should use this instead of re-dividing per call.
+        The diffusion kernels themselves deliberately keep true division
+        ``x / d`` in their arithmetic: ``x * (1/d)`` differs from ``x / d``
+        by up to 1 ulp, and the frontier engines promise bitwise-identical
+        outputs against the pre-frontier reference kernels.
+        """
+        return self._inv_degrees
+
+    @property
     def is_attributed(self) -> bool:
         return self.attributes is not None
 
@@ -155,30 +172,76 @@ class AttributedGraph:
     # ------------------------------------------------------------------
     # Diffusion operators
     # ------------------------------------------------------------------
-    def apply_transition(self, row_vector: np.ndarray) -> np.ndarray:
+    def apply_transition(
+        self, row_vector: np.ndarray, scratch: np.ndarray | None = None
+    ) -> np.ndarray:
         """Compute ``x P`` for a row vector ``x`` where ``P = D^{-1} A``.
 
         ``(x P)_j = Σ_i x_i / d(vi) · A_ij``; because ``A`` is symmetric this
         equals ``A (x / d)`` which is a single sparse mat-vec.
+
+        ``scratch`` is an optional preallocated length-``n`` buffer for the
+        degree-normalized copy, so steady-state callers (the serving
+        workspace) stop allocating one per mat-vec.  The division itself is
+        kept (rather than multiplying by :attr:`inv_degrees`) so outputs
+        stay bitwise identical to the reference kernels.
         """
-        return self.adjacency.dot(row_vector / self._degrees)
+        scaled = np.divide(row_vector, self._degrees, out=scratch)
+        return self.adjacency.dot(scaled)
+
+    def transition_gather(
+        self, row_values: np.ndarray, support: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw CSR gather for a selective ``x P``: one entry per edge.
+
+        ``row_values`` is aligned with ``support`` (``row_values[p]`` is
+        the mass on node ``support[p]``).  Returns ``(cols, contrib)``
+        where ``cols`` concatenates the neighbor lists of ``support``
+        (row-major, each row in CSR column order) and
+        ``contrib[e] = row_values[p] / d(v_support[p]) · A_ij`` for edge
+        ``e = (support[p], j)``.  Summing ``contrib`` per column in this
+        order reproduces the per-row loop scatter bit for bit; the work
+        is ``O(vol(support))`` with no length-``n`` touch at all.
+
+        ``support`` must be sorted ascending (the order every scan-based
+        kernel enumerates rows in).
+        """
+        adj = self.adjacency
+        indptr, indices = adj.indptr, adj.indices
+        starts = indptr[support]
+        lens = indptr[support + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=indices.dtype), np.empty(0)
+        # Row-major positions of every CSR entry in the support rows.
+        offsets = np.cumsum(lens) - lens
+        pos = np.arange(total) - np.repeat(offsets, lens) + np.repeat(starts, lens)
+        cols = indices[pos]
+        scaled = row_values / self._degrees[support]
+        contrib = np.repeat(scaled, lens)
+        if not self._binary_adjacency:
+            contrib = contrib * adj.data[pos]
+        return cols, contrib
 
     def apply_transition_selective(
-        self, values: np.ndarray, support: np.ndarray
+        self, values: np.ndarray, support: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
-        """``x P`` when ``x`` is non-zero only on ``support``.
+        """``x P`` when ``x`` is non-zero only on ``support`` (sorted).
 
         Touches only the adjacency rows of ``support`` so the work is
-        proportional to ``vol(support)`` (plus the dense output vector),
-        which is what makes the greedy diffusion local.
+        proportional to ``vol(support)`` (plus the dense output vector).
+        The scatter is a vectorized CSR gather (`np.repeat` over ``indptr``
+        spans) accumulated with ``np.bincount`` / ``np.add.at``, both of
+        which add contributions in input order — bitwise identical to the
+        per-row loop it replaced (pinned by the regression tests).
+
+        With ``out`` (a preallocated zeroed buffer) the accumulation is
+        in-place via ``np.add.at``; the caller owns re-zeroing it.
         """
-        out = np.zeros(self.n)
-        scaled = values[support] / self._degrees[support]
-        adj = self.adjacency
-        indptr, indices, data = adj.indptr, adj.indices, adj.data
-        for pos, node in enumerate(support):
-            lo, hi = indptr[node], indptr[node + 1]
-            out[indices[lo:hi]] += scaled[pos] * data[lo:hi]
+        cols, contrib = self.transition_gather(values[support], support)
+        if out is None:
+            return np.bincount(cols, weights=contrib, minlength=self.n)
+        np.add.at(out, cols, contrib)
         return out
 
     # ------------------------------------------------------------------

@@ -90,6 +90,10 @@ class ClusterService:
         )
         self.telemetry = ServiceTelemetry()
         self._n = graph.n
+        # Owned by the dispatcher thread only: preallocated diffusion
+        # buffers so steady-state single-query blocks allocate nothing
+        # of length n (PR 3's zero-allocation hot path).
+        self._workspace = model.make_workspace()
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -204,14 +208,27 @@ class ClusterService:
         return block, False
 
     def _answer(self, block: list[_Request]) -> None:
-        """One engine call for the whole block, then resolve its futures."""
+        """One engine call for the whole block, then resolve its futures.
+
+        A lone request takes the sequential workspace fast path (zero
+        length-``n`` allocations in steady state); larger blocks go
+        through the block engine.  Both produce bitwise-identical
+        clusters, so cache entries are path-independent.
+        """
         start = time.perf_counter()
         try:
-            result = self.model.scores_batch([request.seed for request in block])
-            clusters = [
-                result.cluster(b, request.size)
-                for b, request in enumerate(block)
-            ]
+            if len(block) == 1:
+                clusters = [
+                    self.model.cluster(
+                        block[0].seed, block[0].size, workspace=self._workspace
+                    )
+                ]
+            else:
+                result = self.model.scores_batch([request.seed for request in block])
+                clusters = [
+                    result.cluster(b, request.size)
+                    for b, request in enumerate(block)
+                ]
         except Exception as exc:  # surface engine failures per-request
             for request in block:
                 self.telemetry.record_error()

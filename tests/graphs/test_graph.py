@@ -128,6 +128,117 @@ class TestTransitionOperators:
         selective = small_sbm.apply_transition_selective(x, np.sort(support))
         assert np.allclose(full, selective)
 
+    def test_vectorized_selective_pins_reference_loop(self, small_sbm, rng):
+        """The np.repeat/np.add.at CSR scatter replays the old per-row
+        Python loop bit for bit (satellite regression pin)."""
+        from repro.diffusion.reference import reference_selective_scatter
+
+        for size in (1, 7, 40):
+            support = np.sort(rng.choice(small_sbm.n, size=size, replace=False))
+            x = np.zeros(small_sbm.n)
+            x[support] = rng.random(size)
+            vectorized = small_sbm.apply_transition_selective(x, support)
+            loop = reference_selective_scatter(small_sbm, x, support)
+            np.testing.assert_array_equal(vectorized, loop)
+
+    def test_selective_accumulates_into_out_buffer(self, small_sbm, rng):
+        support = np.sort(rng.choice(small_sbm.n, size=12, replace=False))
+        x = np.zeros(small_sbm.n)
+        x[support] = rng.random(12)
+        fresh = small_sbm.apply_transition_selective(x, support)
+        out = np.zeros(small_sbm.n)
+        returned = small_sbm.apply_transition_selective(x, support, out=out)
+        assert returned is out
+        np.testing.assert_array_equal(out, fresh)
+
+    def test_apply_transition_scratch_is_bitwise(self, small_sbm, rng):
+        x = rng.random(small_sbm.n)
+        scratch = np.empty(small_sbm.n)
+        np.testing.assert_array_equal(
+            small_sbm.apply_transition(x),
+            small_sbm.apply_transition(x, scratch=scratch),
+        )
+
+    def test_inv_degrees_precomputed(self, small_sbm):
+        np.testing.assert_array_equal(
+            small_sbm.inv_degrees, 1.0 / small_sbm.degrees
+        )
+
+    def test_transition_gather_row_major_order(self, tiny_graph):
+        support = np.array([0, 2])
+        values = np.array([0.5, 1.0])
+        cols, contrib = tiny_graph.transition_gather(values, support)
+        expected_cols = np.concatenate(
+            [tiny_graph.neighbors(0), tiny_graph.neighbors(2)]
+        )
+        np.testing.assert_array_equal(cols, expected_cols)
+        expected = np.concatenate(
+            [
+                np.full(tiny_graph.neighbors(0).size, 0.5 / tiny_graph.degree(0)),
+                np.full(tiny_graph.neighbors(2).size, 1.0 / tiny_graph.degree(2)),
+            ]
+        )
+        np.testing.assert_array_equal(contrib, expected)
+
+
+class TestKernelSwitch:
+    """The volume-based selective/full switch (replaces the old
+    row-count heuristic ``|support| <= 64``)."""
+
+    def test_high_degree_small_support_picks_full(self):
+        """A star hub: one row covers half the graph's edges.  The old
+        row-count heuristic (1 <= 64) would pick the selective kernel;
+        the volume rule correctly picks the full mat-vec."""
+        from repro.diffusion.base import (
+            full_scatter_cost,
+            selective_scatter_is_cheaper,
+        )
+
+        n = 1000
+        edges = [(0, i) for i in range(1, n)]
+        star = AttributedGraph.from_edges(n, edges, name="star")
+        hub_volume = float(star.degrees[[0]].sum())  # n - 1
+        full_cost = full_scatter_cost(star.adjacency.nnz, n)
+        assert not selective_scatter_is_cheaper(hub_volume, full_cost)
+
+    def test_low_volume_large_support_picks_selective(self):
+        """Many leaves: hundreds of rows but almost no volume — the old
+        heuristic (300 > 64) would pay a full mat-vec for nothing."""
+        from repro.diffusion.base import (
+            full_scatter_cost,
+            selective_scatter_is_cheaper,
+        )
+
+        n = 1000
+        edges = [(0, i) for i in range(1, n)]
+        star = AttributedGraph.from_edges(n, edges, name="star")
+        leaves = np.arange(1, 301)
+        leaf_volume = float(star.degrees[leaves].sum())  # 300 ones
+        full_cost = full_scatter_cost(star.adjacency.nnz, n)
+        assert selective_scatter_is_cheaper(leaf_volume, full_cost)
+
+    def test_switch_is_output_neutral_on_star(self):
+        """Both kernels answer the hub scatter identically, so the
+        switch is pure performance (diffusion outputs pinned)."""
+        from repro.diffusion.greedy import greedy_diffuse
+        from repro.diffusion.reference import reference_greedy_diffuse
+
+        n = 300
+        rng = np.random.default_rng(5)
+        extra = set()
+        while len(extra) < 400:
+            a, b = rng.integers(1, n, size=2)
+            if a != b:
+                extra.add((min(a, b), max(a, b)))
+        edges = [(0, i) for i in range(1, n)] + sorted(extra)
+        star = AttributedGraph.from_edges(n, edges, name="starry")
+        f = np.zeros(n)
+        f[0] = 1.0
+        new = greedy_diffuse(star, f, alpha=0.8, epsilon=1e-4)
+        old = reference_greedy_diffuse(star, f, alpha=0.8, epsilon=1e-4)
+        np.testing.assert_array_equal(new.q, old.q)
+        np.testing.assert_array_equal(new.residual, old.residual)
+
 
 class TestGroundTruth:
     def test_cluster_contains_seed(self, tiny_graph):
