@@ -2,7 +2,7 @@
 """Benchmark report: record the serving-path performance trajectory.
 
 Runs the performance suite that matters for the serving north star and
-writes one JSON document (``BENCH_pr3.json`` by default) so the perf
+writes one JSON document (``BENCH_pr5.json`` by default) so the perf
 trajectory is tracked in-repo instead of vanishing with each session:
 
 * single-seed queries/sec — frontier kernels + workspace vs. the
@@ -12,12 +12,16 @@ trajectory is tracked in-repo instead of vanishing with each session:
 * batched seeds/sec across block widths (the PR 1 win, re-measured);
 * serving latency — p50/p95 and occupancy through a live
   :class:`ClusterService` under concurrent load (the PR 2 win);
-* per-engine iteration work — the Theorem IV.1 cost-model numbers.
+* per-engine iteration work — the Theorem IV.1 cost-model numbers;
+* update throughput — incremental ``GraphStore.apply`` +
+  ``LACA.refresh`` vs. the full-refit cold path, post-update query
+  latency, and cache invalidation behavior (the PR 5 acceptance
+  evidence: ≥ 5× for single-edge deltas on the Fig. 10 graph).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py              # full, ~2 min
-    PYTHONPATH=src python scripts/bench_report.py --smoke      # CI, ~30 s
+    PYTHONPATH=src python scripts/bench_report.py              # full, ~3 min
+    PYTHONPATH=src python scripts/bench_report.py --smoke      # CI, ~40 s
     PYTHONPATH=src python scripts/bench_report.py --out X.json
 """
 
@@ -37,6 +41,13 @@ from repro.core.config import LacaConfig
 from repro.core.laca import laca_scores
 from repro.core.pipeline import LACA
 from repro.diffusion import reference as ref
+from repro.eval.harness import latency_percentile
+from repro.graphs import (
+    AttributedGraph,
+    GraphDelta,
+    GraphStore,
+    random_absent_edges,
+)
 from repro.graphs.datasets import load_dataset
 from repro.serving import ClusterService
 
@@ -189,9 +200,84 @@ def bench_engine_work(scale: float) -> dict:
     return {"graph": "arxiv", "scale": scale, "seed": 123, "engines": per_engine}
 
 
+def bench_updates(scale: float, n_deltas: int, n_queries: int) -> dict:
+    """Incremental update throughput vs. the full-refit cold path, plus
+    post-update serving latency and cache invalidation behavior."""
+    graph = load_dataset("arxiv", scale=scale)
+    config = LacaConfig(metric="cosine", diffusion="greedy")
+    model = LACA(config).fit(graph)
+    rng = np.random.default_rng(5)
+
+    # The pre-store cold path: rebuild the graph object from the full
+    # edge list and re-run Algo 3 (same measurement as
+    # benchmarks/test_bench_update.py, which gates the 5x bar on it).
+    edges = graph.edge_list()
+    start = time.perf_counter()
+    rebuilt = AttributedGraph.from_edges(
+        graph.n, edges, attributes=graph.attributes,
+        communities=graph.communities, name=graph.name,
+    )
+    LACA(config).fit(rebuilt)
+    refit_s = time.perf_counter() - start
+
+    # Incremental single-edge deltas: store.apply + model.refresh.
+    store = GraphStore(graph)
+    model.refresh(store)
+    pairs = random_absent_edges(graph, n_deltas, rng)
+    start = time.perf_counter()
+    for u, v in pairs:
+        store.apply(GraphDelta(add_edges=[(u, v)]))
+        model.refresh(store)
+    per_delta_s = (time.perf_counter() - start) / len(pairs)
+
+    # Post-update serving: warm a cache, apply one more delta through
+    # the live service, re-ask the same queries.
+    seeds = rng.choice(store.head.n, size=n_queries, replace=True)
+    with ClusterService(
+        model, store=store, max_batch=32, max_wait_s=0.002, cache_size=4096
+    ) as service:
+        wait([service.submit(int(s), 20) for s in seeds])
+        update_stats = service.apply_update(
+            GraphDelta(add_edges=random_absent_edges(store.head, 1, rng))
+        )
+        latencies = []
+        for s in seeds:
+            begin = time.perf_counter()
+            service.cluster(int(s), 20)
+            latencies.append(time.perf_counter() - begin)
+        stats = service.stats()
+    reconciled = (
+        update_stats["entries_promoted"] + update_stats["entries_invalidated"]
+    )
+    return {
+        "graph": "arxiv",
+        "scale": scale,
+        "n": store.head.n,
+        "nnz": int(store.head.adjacency.nnz),
+        "full_refit_s": round(refit_s, 3),
+        "single_edge_deltas": len(pairs),
+        "incremental_ms_per_delta": round(per_delta_s * 1e3, 3),
+        "deltas_per_s": round(1.0 / per_delta_s, 1),
+        "speedup_vs_refit": round(refit_s / per_delta_s, 1),
+        "post_update_query_p50_ms": round(
+            latency_percentile(latencies, 50.0) * 1e3, 3
+        ),
+        "post_update_query_p95_ms": round(
+            latency_percentile(latencies, 95.0) * 1e3, 3
+        ),
+        "update_latency_s": update_stats["update_s"],
+        "entries_promoted": update_stats["entries_promoted"],
+        "entries_invalidated": update_stats["entries_invalidated"],
+        "invalidation_rate": round(
+            update_stats["entries_invalidated"] / reconciled, 4
+        ) if reconciled else 0.0,
+        "post_update_cache_served": stats["cache_served"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument("--out", default="BENCH_pr5.json")
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -202,13 +288,15 @@ def main(argv=None) -> int:
     if args.smoke:
         big_scale, small_scale, n_seeds, repeats = 4.0, 0.5, 4, 1
         batch_seeds, serve_requests = 64, 64
+        update_deltas, update_queries = 8, 32
     else:
         big_scale, small_scale, n_seeds, repeats = 21.0, 1.0, 8, 3
         batch_seeds, serve_requests = 192, 256
+        update_deltas, update_queries = 32, 128
 
     started = time.time()
     report = {
-        "pr": 3,
+        "pr": 5,
         "smoke": args.smoke,
         "host": {
             "python": platform.python_version(),
@@ -226,6 +314,11 @@ def main(argv=None) -> int:
         "batched": bench_batched(small_scale, batch_seeds),
         "serving": bench_serving(small_scale, serve_requests),
         "engine_work": bench_engine_work(small_scale),
+        # The PR 5 acceptance evidence: incremental updates on the same
+        # Fig. 10 graph the single-seed headline uses.
+        "update_throughput": bench_updates(
+            big_scale, update_deltas, update_queries
+        ),
     }
     report["wall_seconds"] = round(time.time() - started, 1)
 
@@ -239,6 +332,13 @@ def main(argv=None) -> int:
             f"{engine:10s} {row['reference_qps']:7.1f} -> {row['frontier_qps']:7.1f} "
             f"q/s  ({row['speedup']:.2f}x)"
         )
+    updates = report["update_throughput"]
+    print(
+        f"updates    {updates['incremental_ms_per_delta']:.2f} ms/delta vs "
+        f"refit {updates['full_refit_s']:.2f}s "
+        f"({updates['speedup_vs_refit']:.0f}x), post-update p50 "
+        f"{updates['post_update_query_p50_ms']:.2f} ms"
+    )
     print(f"report written to {args.out} ({report['wall_seconds']}s)")
     return 0
 

@@ -31,7 +31,13 @@ Subpackages
     One driver per paper table/figure (see DESIGN.md §4).
 """
 
-from .graphs import AttributedGraph, load_dataset, dataset_names
+from .graphs import (
+    AttributedGraph,
+    GraphDelta,
+    GraphStore,
+    load_dataset,
+    dataset_names,
+)
 from .attributes import build_tnam, snas_matrix, TNAM
 from .diffusion import (
     DiffusionWorkspace,
@@ -62,6 +68,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttributedGraph",
+    "GraphDelta",
+    "GraphStore",
     "load_dataset",
     "dataset_names",
     "build_tnam",

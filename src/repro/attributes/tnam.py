@@ -28,6 +28,13 @@ __all__ = ["TNAM", "build_tnam"]
 #: Guard for the normalization denominator y(i)·y*; see module docstring.
 _EPS = 1e-12
 
+#: Largest per-entry reconstruction error tolerated when projecting an
+#: updated attribute row onto the retained k-SVD basis.  Rows inside the
+#: basis span reconstruct to ~1e-15; a genuinely out-of-span row misses
+#: by O(1), so anything past this means the basis no longer explains the
+#: data and :meth:`TNAM.update_rows` falls back to a full rebuild.
+_PROJECTION_TOL = 1e-6
+
 
 @dataclass(frozen=True)
 class TNAM:
@@ -45,12 +52,26 @@ class TNAM:
         Requested rank / feature budget.
     delta:
         Sensitivity factor of the exponential cosine metric.
+    y:
+        The pre-normalization feature matrix ``Y`` (``f(vi,vj) ≈
+        y(i)·y(j)``), retained so :meth:`update_rows` can maintain the
+        factorization incrementally.  ``None`` on states that predate
+        incremental updates (they fall back to a full rebuild).
+    basis:
+        The k-SVD right factor ``Vᵀ`` (``k × d``) when the cosine metric
+        went through the SVD; new/updated attribute rows are folded in
+        by projecting onto this frozen basis.  ``None`` for the
+        ``use_svd=False`` ablation (where ``Y`` *is* the attribute
+        matrix) and for metrics whose features are not maintained
+        incrementally.
     """
 
     z: np.ndarray
     metric: str
     k: int
     delta: float = 1.0
+    y: np.ndarray | None = None
+    basis: np.ndarray | None = None
 
     @property
     def n(self) -> int:
@@ -67,6 +88,121 @@ class TNAM:
     def dense_snas(self) -> np.ndarray:
         """Full approximate SNAS matrix ``Z Zᵀ`` — O(n²), tests only."""
         return self.z @ self.z.T
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        delta,
+        attributes: np.ndarray,
+        *,
+        use_svd: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> "TNAM":
+        """Maintain the TNAM across a :class:`~repro.graphs.store.GraphDelta`.
+
+        ``attributes`` is the *post-delta* attribute matrix (the new
+        snapshot's, already row-normalized).  Structural-only deltas —
+        edge insertions/deletions — return ``self`` unchanged: the TNAM
+        depends on attributes alone, so no work is owed.  Deltas that
+        rewrite or append attribute rows delegate to
+        :meth:`update_rows`.
+        """
+        rows = delta.attribute_rows(self.n)
+        if rows.size == 0:
+            return self
+        return self.update_rows(attributes, rows, use_svd=use_svd, rng=rng)
+
+    def update_rows(
+        self,
+        attributes: np.ndarray,
+        rows: np.ndarray,
+        *,
+        use_svd: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> "TNAM":
+        """New TNAM after the attribute rows in ``rows`` changed/appeared.
+
+        The cosine-metric factorizations are maintained incrementally:
+        the touched rows' features are recomputed (for the k-SVD path by
+        projecting onto the retained :attr:`basis`; for the
+        ``use_svd=False`` ablation the attribute rows *are* the
+        features) and Eq. (18)'s normalization is re-applied — ``O(n·k)``
+        total, never another SVD.  The resulting Gram matrix ``Z Zᵀ``
+        matches a from-scratch :func:`build_tnam` to ~1e-12 whenever the
+        touched rows lie in the basis span (always, when ``k ≥ rank(X)``);
+        rows that escape the span are detected via reconstruction error
+        and trigger a full rebuild instead, as do metrics whose feature
+        maps are not rotation-stable (``exp_cosine``'s random features,
+        the dense-kernel factorizations).  The rebuild path reuses the
+        deterministic default generator, so it is bitwise identical to
+        refitting — ``update_rows`` is *never* less accurate than a
+        refit, only cheaper when it can be.
+
+        ``rows`` must cover every appended row when ``attributes`` has
+        grown (the graph layer guarantees this for store deltas).
+        """
+        attributes = np.asarray(attributes, dtype=np.float64)
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        n_old, n_new = self.n, attributes.shape[0]
+        if n_new < n_old:
+            raise ValueError(
+                f"attribute matrix shrank from {n_old} to {n_new} rows; "
+                "nodes are append-only"
+            )
+        if rows.size == 0 and n_new == n_old:
+            return self
+        if rows.size and (rows.min() < 0 or rows.max() >= n_new):
+            raise ValueError(
+                f"row index {int(rows.max())} out of range for n={n_new}"
+            )
+        if n_new > n_old and np.setdiff1d(
+            np.arange(n_old, n_new, dtype=np.int64), rows
+        ).size:
+            raise ValueError(
+                "rows must include every appended attribute row "
+                f"({n_old}..{n_new - 1})"
+            )
+
+        def rebuild() -> "TNAM":
+            return build_tnam(
+                attributes,
+                k=self.k,
+                metric=self.metric,
+                delta=self.delta,
+                rng=rng or np.random.default_rng(0),
+                use_svd=use_svd,
+            )
+
+        if self.metric != "cosine" or self.y is None:
+            return rebuild()
+        if self.basis is None:
+            # use_svd=False ablation: Y is the attribute matrix itself.
+            if self.y.shape[1] != attributes.shape[1]:
+                return rebuild()  # legacy state without provenance
+            y_rows = attributes[rows]
+        else:
+            projected = attributes[rows] @ self.basis.T
+            residual = attributes[rows] - projected @ self.basis
+            if residual.size and np.abs(residual).max() > _PROJECTION_TOL:
+                return rebuild()
+            y_rows = projected
+
+        if n_new > n_old:
+            y = np.empty((n_new, self.y.shape[1]))
+            y[:n_old] = self.y
+        else:
+            y = self.y.copy()
+        y[rows] = y_rows
+        return TNAM(
+            z=_normalize_features(y),
+            metric=self.metric,
+            k=self.k,
+            delta=self.delta,
+            y=y,
+            basis=self.basis,
+        )
 
 
 def _normalize_features(y: np.ndarray) -> np.ndarray:
@@ -117,10 +253,12 @@ def build_tnam(
     if k <= 0:
         raise ValueError("k must be positive")
 
+    basis = None
     if metric == "cosine":
         if use_svd:
-            u, sigma, _ = truncated_svd(attributes, k, rng=rng)
+            u, sigma, vt = truncated_svd(attributes, k, rng=rng)
             y = u * sigma[None, :]
+            basis = vt
         else:
             y = attributes.copy()
     elif metric == "exp_cosine":
@@ -136,7 +274,7 @@ def build_tnam(
         raise ValueError(f"unknown metric {metric!r}")
 
     z = _normalize_features(y)
-    return TNAM(z=z, metric=metric, k=k, delta=delta)
+    return TNAM(z=z, metric=metric, k=k, delta=delta, y=y, basis=basis)
 
 
 def _factorize_kernel(

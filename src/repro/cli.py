@@ -26,6 +26,14 @@ per line (queries are ``seed [size]`` lines on stdin or in a file)::
     python -m repro serve --dataset cora --queries queries.txt
     echo "42" | python -m repro serve --dataset cora --stats
     python -m repro serve --graph g.npz --model m.npz --size 50
+
+Apply a stream of graph deltas (one JSON object per line) to a saved
+graph, producing the next epoch-stamped snapshot — optionally carrying a
+fitted model along incrementally instead of refitting::
+
+    python -m repro update --graph g.npz --updates deltas.jsonl --out g2.npz
+    python -m repro update --graph g.npz --updates - --out g2.npz \
+        --model m.npz --save-model m2.npz
 """
 
 from __future__ import annotations
@@ -290,6 +298,92 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    """Apply a JSONL delta stream through a :class:`GraphStore`.
+
+    Each input line is one :meth:`GraphDelta.from_mapping` object, e.g.::
+
+        {"add_edges": [[0, 42]], "remove_edges": [[3, 17]]}
+        {"add_nodes": 1, "add_edges": [[8000, 5]],
+         "add_attributes": [[0.1, 0.9, ...]], "add_communities": [2]}
+        {"set_attributes": {"17": [0.2, 0.8, ...]}}
+
+    One JSON status line is printed per applied delta.  With ``--model``
+    the fitted model is refreshed incrementally across the whole stream
+    (never refitted unless the deltas force it) and written back with
+    ``--save-model``.
+    """
+    from .graphs.io import save_graph
+    from .graphs.store import GraphDelta, GraphStore
+
+    if not args.graph:
+        raise SystemExit("update requires --graph <path.npz>")
+    graph = load_graph(args.graph)
+
+    model = None
+    if args.model:
+        from .serving import load_model
+
+        model = load_model(args.model, graph)
+
+    if args.updates and args.updates != "-":
+        try:
+            handle = open(args.updates, encoding="utf-8")
+        except OSError as error:
+            raise SystemExit(f"cannot read updates file: {error}") from None
+    else:
+        handle = sys.stdin
+
+    # History must cover the whole stream so a trailing model refresh
+    # still knows exactly which attribute rows changed.
+    deltas: list = []
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                payload = json.loads(text)
+                deltas.append(GraphDelta.from_mapping(payload))
+            except (ValueError, TypeError) as error:
+                raise SystemExit(f"updates line {lineno}: {error}") from None
+    store = GraphStore(graph, history=max(len(deltas), 1))
+
+    for delta in deltas:
+        n_before = store.head.n  # touched_nodes works in pre-delta ids
+        start = time.perf_counter()
+        try:
+            head = store.apply(delta)
+        except ValueError as error:
+            raise SystemExit(f"delta at epoch {store.epoch + 1}: {error}") from None
+        print(json.dumps({
+            "epoch": head.epoch,
+            "n": head.n,
+            "m": head.m,
+            "touched": int(delta.touched_nodes(n_before).shape[0]),
+            "apply_ms": round((time.perf_counter() - start) * 1e3, 3),
+        }), flush=True)
+
+    if model is not None:
+        model.refresh(store)
+        print(
+            f"refreshed model to epoch {store.epoch} "
+            f"in {model.refresh_seconds * 1e3:.3f}ms",
+            file=sys.stderr,
+        )
+    if args.save_model:
+        if model is None:
+            raise SystemExit("--save-model requires --model")
+        from .serving import save_model
+
+        path = save_model(model, args.save_model)
+        print(f"saved model to {path}", file=sys.stderr)
+    if args.out:
+        path = save_graph(store.head, args.out)
+        print(f"saved graph (epoch {store.epoch}) to {path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description="LACA local clustering CLI"
@@ -349,6 +443,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache capacity (0 disables)")
     serve.add_argument("--stats", action="store_true",
                        help="print service telemetry to stderr at the end")
+
+    update = commands.add_parser(
+        "update", help="apply a JSONL delta stream to a saved graph"
+    )
+    update.add_argument("--graph", required=True,
+                        help="path to a saved .npz graph (the base snapshot)")
+    update.add_argument(
+        "--updates", default=None, metavar="FILE",
+        help="JSONL file of GraphDelta objects ('-' or omitted reads stdin)",
+    )
+    update.add_argument("--out", default=None, metavar="PATH",
+                        help="write the final snapshot to this .npz path")
+    update.add_argument(
+        "--model", default=None,
+        help="fitted model archive to refresh incrementally across the stream",
+    )
+    update.add_argument(
+        "--save-model", default=None, metavar="PATH",
+        help="persist the refreshed model (requires --model)",
+    )
     return parser
 
 
@@ -359,6 +473,7 @@ def main(argv: list[str] | None = None) -> int:
         "methods": _cmd_methods,
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
+        "update": _cmd_update,
     }
     try:
         return handlers[args.command](args)

@@ -28,6 +28,7 @@ import numpy as np
 from ..attributes.tnam import TNAM, build_tnam
 from ..diffusion.workspace import DiffusionWorkspace
 from ..graphs.graph import AttributedGraph
+from ..graphs.store import GraphStore
 from .config import LacaConfig
 from .laca import (
     LacaBatchResult,
@@ -58,6 +59,7 @@ class LACA:
         self.graph: AttributedGraph | None = None
         self.tnam: TNAM | None = None
         self.preprocessing_seconds: float = 0.0
+        self.refresh_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def fit(self, graph: AttributedGraph, rng: np.random.Generator | None = None) -> "LACA":
@@ -85,6 +87,57 @@ class LACA:
         if self.graph is None:
             raise RuntimeError("call fit(graph) before querying")
         return self.graph
+
+    def refresh(self, store: GraphStore) -> "LACA":
+        """Track the store's head snapshot without refitting from scratch.
+
+        Structural deltas (edge insertions/deletions) leave the TNAM
+        untouched — it depends only on attributes — so a refresh after
+        them is O(1): swap the graph reference.  Attribute-touching
+        deltas fold exactly the rewritten/appended rows into the TNAM
+        via :meth:`TNAM.update_rows`; only when the store's bounded
+        delta log no longer covers this model's epoch (or the touched
+        rows escape the retained factorization basis) does refresh pay
+        a full Algo 3 rebuild — and that rebuild is bitwise identical
+        to :meth:`fit` on the head snapshot.
+
+        Queries in flight on the old snapshot are unaffected: snapshots
+        are immutable and the old graph object stays valid.  ``refresh``
+        itself is not thread-safe against concurrent queries on *this*
+        model — the serving layer serializes it behind its dispatcher.
+        """
+        graph = self._require_fit()
+        head = store.head
+        if head.epoch < graph.epoch:
+            raise ValueError(
+                f"model is at epoch {graph.epoch} but the store head is "
+                f"behind it (epoch {head.epoch}); refresh only moves forward"
+            )
+        start = time.perf_counter()
+        if (
+            self.config.use_snas
+            and head.attributes is not None
+            and head.epoch > graph.epoch
+        ):
+            rows = store.attribute_rows_since(graph.epoch)
+            if self.tnam is None or rows is None:
+                # No maintained state, or the delta log has forgotten
+                # this model's epoch: rebuild from the head attributes.
+                self.tnam = build_tnam(
+                    head.attributes,
+                    k=self.config.k,
+                    metric=self.config.metric,
+                    delta=self.config.delta,
+                    rng=np.random.default_rng(0),
+                    use_svd=self.config.use_svd,
+                )
+            elif rows.size:
+                self.tnam = self.tnam.update_rows(
+                    head.attributes, rows, use_svd=self.config.use_svd
+                )
+        self.graph = head
+        self.refresh_seconds = time.perf_counter() - start
+        return self
 
     # ------------------------------------------------------------------
     def make_workspace(self) -> DiffusionWorkspace:
@@ -180,6 +233,7 @@ class LACA:
             "format_version": np.asarray(FIT_STATE_VERSION),
             "graph_name": np.asarray(graph.name),
             "graph_n": np.asarray(graph.n),
+            "graph_epoch": np.asarray(graph.epoch),
             "preprocessing_seconds": np.asarray(self.preprocessing_seconds),
         }
         for field in dataclasses.fields(self.config):
@@ -191,6 +245,12 @@ class LACA:
             state["tnam_metric"] = np.asarray(self.tnam.metric)
             state["tnam_k"] = np.asarray(self.tnam.k)
             state["tnam_delta"] = np.asarray(self.tnam.delta)
+            # Maintenance state: lets a reloaded model keep absorbing
+            # graph deltas incrementally instead of refitting.
+            if self.tnam.y is not None:
+                state["tnam_y"] = self.tnam.y
+            if self.tnam.basis is not None:
+                state["tnam_basis"] = self.tnam.basis
         return state
 
     @classmethod
@@ -222,6 +282,14 @@ class LACA:
                 f"fit state was built on graph {stored_name!r}, "
                 f"got graph {graph.name!r}"
             )
+        if "graph_epoch" in state:  # absent on pre-store archives
+            stored_epoch = int(state["graph_epoch"])
+            if stored_epoch != graph.epoch:
+                raise ValueError(
+                    f"fit state was built at graph epoch {stored_epoch}, got "
+                    f"a graph at epoch {graph.epoch}; load the matching "
+                    "snapshot (or refit/refresh against the current one)"
+                )
         overrides = {}
         for field in dataclasses.fields(LacaConfig):
             key = f"config_{field.name}"
@@ -238,6 +306,16 @@ class LACA:
                 metric=str(state["tnam_metric"]),
                 k=int(state["tnam_k"]),
                 delta=float(state["tnam_delta"]),
+                y=(
+                    np.asarray(state["tnam_y"], dtype=np.float64)
+                    if "tnam_y" in state
+                    else None
+                ),
+                basis=(
+                    np.asarray(state["tnam_basis"], dtype=np.float64)
+                    if "tnam_basis" in state
+                    else None
+                ),
             )
         return model
 

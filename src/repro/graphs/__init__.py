@@ -7,6 +7,7 @@ from .generators import (
     plain_sbm,
     community_sizes,
     planted_partition_edges,
+    random_absent_edges,
     rewire_edges,
     sample_secondary_memberships,
     topic_attributes,
@@ -20,6 +21,7 @@ from .datasets import (
     load_dataset,
 )
 from .io import load_graph, save_graph
+from .store import GraphDelta, GraphStore
 from .corruption import (
     add_random_edges,
     drop_edges,
@@ -42,6 +44,7 @@ __all__ = [
     "plain_sbm",
     "community_sizes",
     "planted_partition_edges",
+    "random_absent_edges",
     "rewire_edges",
     "sample_secondary_memberships",
     "topic_attributes",
@@ -53,6 +56,8 @@ __all__ = [
     "load_dataset",
     "load_graph",
     "save_graph",
+    "GraphDelta",
+    "GraphStore",
     "add_random_edges",
     "drop_edges",
     "mask_attributes",

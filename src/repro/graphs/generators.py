@@ -34,10 +34,30 @@ __all__ = [
     "plain_sbm",
     "community_sizes",
     "planted_partition_edges",
+    "random_absent_edges",
     "topic_attributes",
     "rewire_edges",
     "sample_secondary_memberships",
 ]
+
+
+def random_absent_edges(graph, count: int, rng: np.random.Generator) -> list:
+    """``count`` random node pairs that are *not* edges of ``graph``.
+
+    The natural insertion workload for update benchmarks and tests:
+    both endpoints exist, no self-loops, every pair is absent from the
+    adjacency.  Rejection-samples, so it assumes a sparse graph.
+    """
+    adj = graph.adjacency
+    indptr, indices = adj.indptr, adj.indices
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+        if u == v:
+            continue
+        if v not in indices[indptr[u]:indptr[u + 1]]:
+            pairs.append((u, v))
+    return pairs
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,24 @@ import scipy.sparse as sp
 __all__ = ["AttributedGraph", "normalize_rows"]
 
 
+def _raise_isolated(degrees: np.ndarray) -> None:
+    """Raise the isolated-node error with an actionable message.
+
+    Shared between construction-time validation and the incremental
+    update path (:mod:`repro.graphs.store`), where edge deletions are the
+    usual culprit: the message names the offending node ids so callers
+    can see which deletion stranded them.
+    """
+    isolated = np.flatnonzero(degrees == 0)
+    preview = ", ".join(str(int(node)) for node in isolated[:5])
+    suffix = ", ..." if isolated.size > 5 else ""
+    raise ValueError(
+        f"graph has {isolated.size} isolated node(s) (node ids: {preview}"
+        f"{suffix}); the diffusion operators require every node to have "
+        "at least one neighbor"
+    )
+
+
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     """Return a copy of ``matrix`` with each row scaled to unit L2 norm.
 
@@ -53,6 +71,13 @@ class AttributedGraph:
         (``-1`` where absent).  Models overlapping ground truth.
     name:
         Human-readable dataset name used in reports.
+    epoch:
+        Version stamp of this snapshot.  Freshly constructed graphs are
+        epoch 0; :class:`~repro.graphs.store.GraphStore` increments it
+        on every applied delta.  Snapshots are immutable — an update
+        produces a *new* graph at the next epoch, never mutates this one
+        — so everything keyed on ``(graph, epoch)`` (serving caches,
+        persisted models) stays consistent.
     """
 
     adjacency: sp.csr_matrix
@@ -60,6 +85,7 @@ class AttributedGraph:
     communities: np.ndarray | None = None
     secondary_communities: np.ndarray | None = None
     name: str = "graph"
+    epoch: int = 0
     _degrees: np.ndarray = field(init=False, repr=False)
     _inv_degrees: np.ndarray = field(init=False, repr=False)
     _binary_adjacency: bool = field(init=False, repr=False)
@@ -76,11 +102,7 @@ class AttributedGraph:
         self.adjacency = adj
         self._degrees = np.asarray(adj.sum(axis=1)).ravel()
         if np.any(self._degrees == 0):
-            isolated = int(np.sum(self._degrees == 0))
-            raise ValueError(
-                f"graph has {isolated} isolated node(s); the diffusion "
-                "operators require every node to have at least one neighbor"
-            )
+            _raise_isolated(self._degrees)
         self._inv_degrees = 1.0 / self._degrees
         self._binary_adjacency = bool(np.all(adj.data == 1.0))
         if self.attributes is not None:
@@ -284,6 +306,18 @@ class AttributedGraph:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
+    def edge_list(self) -> np.ndarray:
+        """The ``(m, 2)`` undirected edge list with ``u < v`` per row.
+
+        Round-trips through :meth:`from_edges`:
+        ``AttributedGraph.from_edges(g.n, g.edge_list(), ...)`` rebuilds
+        an identical adjacency.  Used by benchmarks to measure the
+        full-rebuild cold path the incremental store replaces.
+        """
+        coo = self.adjacency.tocoo()
+        upper = coo.row < coo.col
+        return np.stack([coo.row[upper], coo.col[upper]], axis=1).astype(np.int64)
+
     def to_networkx(self):
         """Export to a :mod:`networkx` graph (attributes as node data)."""
         import networkx as nx
@@ -324,8 +358,48 @@ class AttributedGraph:
             name=name,
         )
 
+    @classmethod
+    def _from_parts(
+        cls,
+        *,
+        adjacency: sp.csr_matrix,
+        degrees: np.ndarray,
+        inv_degrees: np.ndarray,
+        binary_adjacency: bool,
+        attributes: np.ndarray | None,
+        communities: np.ndarray | None,
+        secondary_communities: np.ndarray | None,
+        name: str,
+        epoch: int,
+    ) -> "AttributedGraph":
+        """Assemble a snapshot from already-validated parts.
+
+        Package-internal constructor used by the incremental update path
+        (:class:`~repro.graphs.store.GraphStore`): it skips
+        ``__post_init__`` entirely, so degrees/``inv_degrees`` maintained
+        incrementally are used as-is instead of being recomputed, the
+        O(nnz) symmetry check is not re-paid per delta, and — crucially —
+        already-normalized attribute rows are *not* normalized a second
+        time (renormalizing an L2-unit row perturbs its bits, which would
+        break the bitwise parity the store guarantees against a
+        from-scratch build).  Every invariant ``__post_init__`` enforces
+        must hold for the supplied parts.
+        """
+        graph = object.__new__(cls)
+        graph.adjacency = adjacency
+        graph.attributes = attributes
+        graph.communities = communities
+        graph.secondary_communities = secondary_communities
+        graph.name = name
+        graph.epoch = int(epoch)
+        graph._degrees = degrees
+        graph._inv_degrees = inv_degrees
+        graph._binary_adjacency = binary_adjacency
+        return graph
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AttributedGraph(name={self.name!r}, n={self.n}, m={self.m}, "
-            f"d={self.d}, communities={self.communities is not None})"
+            f"d={self.d}, communities={self.communities is not None}, "
+            f"epoch={self.epoch})"
         )

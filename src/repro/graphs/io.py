@@ -47,6 +47,7 @@ def save_graph(graph: AttributedGraph, path: str | Path) -> Path:
         "data": adj.data,
         "shape": np.asarray(adj.shape),
         "name": np.asarray(graph.name),
+        "epoch": np.asarray(graph.epoch),
     }
     if graph.attributes is not None:
         payload["attributes"] = graph.attributes
@@ -68,6 +69,12 @@ def load_graph(path: str | Path) -> AttributedGraph:
         attributes = archive["attributes"] if "attributes" in archive else None
         communities = archive["communities"] if "communities" in archive else None
         name = str(archive["name"])
+        # Archives written before the store existed carry no epoch stamp.
+        epoch = int(archive["epoch"]) if "epoch" in archive else 0
     return AttributedGraph(
-        adjacency=adj, attributes=attributes, communities=communities, name=name
+        adjacency=adj,
+        attributes=attributes,
+        communities=communities,
+        name=name,
+        epoch=epoch,
     )

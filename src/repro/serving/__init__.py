@@ -9,9 +9,10 @@ package turns the two into a long-lived service:
   :class:`ModelRegistry`;
 - :mod:`~repro.serving.service` — :class:`ClusterService`, the
   thread-safe micro-batching scheduler that coalesces concurrent
-  ``submit`` calls into block diffusions;
-- :mod:`~repro.serving.cache` — the LRU :class:`ResultCache` and the
-  :func:`config_digest` that keys it;
+  ``submit`` calls into block diffusions and applies live graph deltas
+  (``apply_update``) without dropping traffic;
+- :mod:`~repro.serving.cache` — the epoch-aware LRU
+  :class:`ResultCache` and the :func:`config_digest` that keys it;
 - :mod:`~repro.serving.telemetry` — per-service latency/occupancy/
   throughput stats.
 

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.laca import top_k_cluster
 from ..core.pipeline import LACA
+from ..graphs.store import GraphDelta, GraphStore
 from .cache import ResultCache, config_digest, query_key
 from .telemetry import ServiceTelemetry
 
@@ -41,6 +43,56 @@ class _Request:
     key: tuple
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+@dataclass
+class _Update:
+    """A graph-epoch advance queued behind the in-flight query blocks.
+
+    The dispatcher refreshes the model and reconciles the cache when it
+    reaches this marker; the future resolves to the cache's
+    ``(promoted, invalidated)`` counts once serving is on the new epoch.
+    """
+
+    epoch: int
+    touched: np.ndarray | None
+    future: Future = field(default_factory=Future)
+
+
+def _result_support(result) -> np.ndarray:
+    """Sorted union of every node the two diffusions of one query touched.
+
+    This is the invalidation footprint the cache stores with the answer:
+    a later delta whose touched set is disjoint from it cannot have
+    influenced the query (no touched node's adjacency row, degree, or
+    attribute row was ever read), so the cached cluster stays exact.
+    Copies out of any workspace views before they are recycled.
+    """
+    parts = []
+    for diffusion in (result.rwr, result.bdd):
+        if diffusion.touched is not None:
+            parts.append(diffusion.touched)
+        else:
+            parts.append(np.flatnonzero(diffusion.q))
+            parts.append(np.flatnonzero(diffusion.residual))
+    return np.unique(np.concatenate(parts))
+
+
+def _batch_support(result, b: int) -> np.ndarray:
+    """Per-column touched-node union for one query of a batched block.
+
+    Final ``q``/``residual`` non-zeros cover every touched node: mass is
+    non-negative (no cancellation to exactly 0.0) and any processed
+    residual deposits ``α·r > 0`` into ``q``.
+    """
+    parts = [
+        np.flatnonzero(result.rwr.q[:, b]),
+        np.flatnonzero(result.rwr.residual[:, b]),
+    ]
+    if result.bdd is not None:
+        parts.append(np.flatnonzero(result.bdd.q[:, b]))
+        parts.append(np.flatnonzero(result.bdd.residual[:, b]))
+    return np.unique(np.concatenate(parts))
 
 
 class ClusterService:
@@ -62,6 +114,12 @@ class ClusterService:
         takes only what is already queued.
     cache_size:
         LRU capacity of the result cache; ``0`` disables caching.
+    store:
+        Optional :class:`~repro.graphs.store.GraphStore` to serve from.
+        When given, :meth:`apply_update` advances this store (sharing it
+        with other consumers); when omitted, one is created lazily on
+        the first update.  A store whose head is ahead of the model
+        triggers a :meth:`LACA.refresh` at construction.
 
     Use as a context manager, or call :meth:`close` when done.
     """
@@ -74,12 +132,16 @@ class ClusterService:
         max_batch: int = 64,
         max_wait_s: float = 0.002,
         cache_size: int = 1024,
+        store: GraphStore | None = None,
     ) -> None:
         graph = model._require_fit()
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
         if max_wait_s < 0.0:
             raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if store is not None and store.head is not graph:
+            model.refresh(store)
+            graph = model._require_fit()
         self.model = model
         self.name = name if name is not None else graph.name
         self.max_batch = int(max_batch)
@@ -89,6 +151,14 @@ class ClusterService:
             ResultCache(cache_size) if cache_size else None
         )
         self.telemetry = ServiceTelemetry()
+        self._store = store
+        self._epoch = graph.epoch
+        self._update_lock = threading.Lock()
+        #: Set when an epoch refresh failed mid-way: the service's epoch
+        #: may then be ahead of the model's snapshot, so serving anything
+        #: further would cache stale answers under fresh keys.  The
+        #: service fails closed instead.
+        self._failed: BaseException | None = None
         self._n = graph.n
         # Owned by the dispatcher thread only: preallocated diffusion
         # buffers so steady-state single-query blocks allocate nothing
@@ -116,13 +186,22 @@ class ClusterService:
             raise IndexError(f"seed {seed} out of range for n={self._n}")
         if size <= 0:
             raise ValueError(f"cluster size must be positive, got {size}")
-        key = query_key(self.name, seed, size, self.digest)
         # The closed-check and the enqueue share close()'s lock so no
         # request can slip in behind the shutdown sentinel (it would
-        # never be answered and its future would hang forever).
+        # never be answered and its future would hang forever).  The
+        # epoch is read under the same lock: apply_update bumps it
+        # atomically with enqueueing its refresh marker, so a request
+        # keyed at the new epoch always sits *behind* the marker and is
+        # answered by the refreshed model.
         with self._close_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+            if self._failed is not None:
+                raise RuntimeError(
+                    "service is failed: a graph update did not land cleanly "
+                    "and the model may be behind the serving epoch"
+                ) from self._failed
+            key = query_key(self.name, seed, size, self.digest, self._epoch)
             if self.cache is not None:
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -143,11 +222,82 @@ class ClusterService:
         return [self.submit(seed, size) for seed in seeds]
 
     # ------------------------------------------------------------------
+    def apply_update(
+        self, delta: GraphDelta, *, timeout: float | None = None
+    ) -> dict:
+        """Apply a graph delta and move serving to the new epoch.
+
+        The store advances immediately; the model refresh rides the
+        dispatch queue as a marker, so it interleaves safely with
+        in-flight query blocks: blocks gathered before the marker are
+        answered on the old snapshot (and cached under the old epoch),
+        everything submitted after this method returns is answered by
+        the refreshed model under the new epoch.  Cached answers from
+        the previous epoch are reconciled eagerly — entries whose
+        recorded support is disjoint from the delta's touched nodes are
+        carried over (still bitwise exact), the rest are invalidated.
+
+        Updates are serialized; blocks until the refresh has landed (at
+        most ``timeout`` seconds).  Must not be called from a future
+        callback — it would deadlock the dispatcher against itself.
+        Returns a summary dict (new epoch/n/m, latency, cache counts).
+        """
+        with self._update_lock:
+            with self._close_lock:
+                if self._closed:
+                    raise RuntimeError("service is closed")
+                if self._failed is not None:
+                    raise RuntimeError(
+                        "service is failed: a previous update did not land "
+                        "cleanly"
+                    ) from self._failed
+                if self._store is None:
+                    self._store = GraphStore(self.model._require_fit())
+            store = self._store
+            epoch_before = store.epoch
+            start = time.perf_counter()
+            head = store.apply(delta)
+            update = _Update(
+                epoch=head.epoch, touched=store.touched_since(epoch_before)
+            )
+            with self._close_lock:
+                if self._closed:
+                    raise RuntimeError(
+                        "service closed while updating; the store advanced "
+                        "but this service never served the new epoch"
+                    )
+                self._epoch = head.epoch
+                self._n = head.n
+                self._queue.put(update)
+            promoted, invalidated = update.future.result(timeout)
+            seconds = time.perf_counter() - start
+            self.telemetry.record_update(seconds, invalidated, promoted)
+            return {
+                "epoch": head.epoch,
+                "n": head.n,
+                "m": head.m,
+                "update_s": round(seconds, 6),
+                "entries_promoted": promoted,
+                "entries_invalidated": invalidated,
+            }
+
+    @property
+    def store(self) -> GraphStore | None:
+        """The graph store backing updates (None until the first one)."""
+        return self._store
+
+    @property
+    def epoch(self) -> int:
+        """The graph epoch new submissions are answered at."""
+        return self._epoch
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Telemetry snapshot merged with cache and identity info."""
         snapshot = self.telemetry.snapshot()
         snapshot["model"] = self.name
         snapshot["config_digest"] = self.digest
+        snapshot["epoch"] = self._epoch
         snapshot["max_batch"] = self.max_batch
         snapshot["max_wait_s"] = self.max_wait_s
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None
@@ -179,17 +329,27 @@ class ClusterService:
             first = self._queue.get()
             if first is _SHUTDOWN:
                 return
-            block, saw_shutdown = self._gather_block(first)
+            if isinstance(first, _Update):
+                self._refresh(first)
+                continue
+            block, saw_shutdown, pending_update = self._gather_block(first)
             self._answer(block)
+            if pending_update is not None:
+                self._refresh(pending_update)
             if saw_shutdown:
                 return
 
-    def _gather_block(self, first: _Request) -> tuple[list[_Request], bool]:
+    def _gather_block(
+        self, first: _Request
+    ) -> tuple[list[_Request], bool, _Update | None]:
         """Coalesce queued requests behind ``first`` into one block.
 
         Waits until ``max_wait_s`` past the block's start for stragglers,
         stops early at ``max_batch`` occupancy, and reports whether the
-        shutdown sentinel was consumed while gathering.
+        shutdown sentinel was consumed while gathering.  An update
+        marker also ends the block — the requests gathered so far were
+        submitted before it and must be answered on the pre-update
+        snapshot — and is returned for the dispatcher to apply next.
         """
         block = [first]
         deadline = time.perf_counter() + self.max_wait_s
@@ -203,9 +363,51 @@ class ClusterService:
             except queue.Empty:
                 break
             if request is _SHUTDOWN:
-                return block, True
+                return block, True, None
+            if isinstance(request, _Update):
+                return block, False, request
             block.append(request)
-        return block, False
+        return block, False, None
+
+    def _refresh(self, update: _Update) -> None:
+        """Land a queued epoch advance: refresh model, reconcile cache.
+
+        The model refreshes to the store's *current* head, which with a
+        shared store may already be past this marker's epoch (another
+        consumer applied further deltas).  Reconciliation is therefore
+        computed against what actually happened — everything touched
+        since the model's previous epoch — and the serving epoch follows
+        the model, so a cached answer's epoch stamp always names the
+        snapshot it was computed on.  On any failure the service fails
+        closed (see :attr:`_failed`): its epoch may already be ahead of
+        the model, and serving through that gap would poison the cache
+        with stale answers under fresh keys.
+        """
+        try:
+            previous = self.model._require_fit().epoch
+            self.model.refresh(self._store)
+            head = self.model._require_fit()
+            self._workspace = self.model.make_workspace()
+            with self._close_lock:
+                if head.epoch > self._epoch:
+                    self._epoch = head.epoch
+                    self._n = head.n
+            promoted = invalidated = 0
+            if self.cache is not None:
+                touched = update.touched
+                if head.epoch != update.epoch:
+                    touched = self._store.touched_since(previous)
+                promoted, invalidated = self.cache.advance_epoch(
+                    head.epoch, touched, expected_epoch=previous
+                )
+        except Exception as exc:
+            with self._close_lock:
+                self._failed = exc
+            if update.future.set_running_or_notify_cancel():
+                update.future.set_exception(exc)
+            return
+        if update.future.set_running_or_notify_cancel():
+            update.future.set_result((promoted, invalidated))
 
     def _answer(self, block: list[_Request]) -> None:
         """One engine call for the whole block, then resolve its futures.
@@ -215,20 +417,38 @@ class ClusterService:
         through the block engine.  Both produce bitwise-identical
         clusters, so cache entries are path-independent.
         """
+        if self._failed is not None:
+            # A refresh marker ahead of these requests failed: the model
+            # may be behind the epoch their keys carry.  Fail them
+            # rather than cache stale answers under fresh keys.
+            error = RuntimeError("service is failed: an update did not land")
+            error.__cause__ = self._failed
+            for request in block:
+                self.telemetry.record_error()
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(error)
+            return
         start = time.perf_counter()
         try:
             if len(block) == 1:
+                request = block[0]
+                result = self.model.scores(request.seed, workspace=self._workspace)
                 clusters = [
-                    self.model.cluster(
-                        block[0].seed, block[0].size, workspace=self._workspace
+                    top_k_cluster(
+                        result.scores,
+                        request.size,
+                        request.seed,
+                        support=result.scores_support,
                     )
                 ]
+                supports = [_result_support(result)]
             else:
                 result = self.model.scores_batch([request.seed for request in block])
                 clusters = [
                     result.cluster(b, request.size)
                     for b, request in enumerate(block)
                 ]
+                supports = [_batch_support(result, b) for b in range(len(block))]
         except Exception as exc:  # surface engine failures per-request
             for request in block:
                 self.telemetry.record_error()
@@ -238,9 +458,9 @@ class ClusterService:
         engine_seconds = time.perf_counter() - start
         self.telemetry.record_batch(len(block), engine_seconds)
         now = time.perf_counter()
-        for request, cluster in zip(block, clusters):
+        for request, cluster, support in zip(block, clusters, supports):
             if self.cache is not None:
-                cluster = self.cache.put(request.key, cluster)
+                cluster = self.cache.put(request.key, cluster, support)
             else:
                 cluster.setflags(write=False)
             # A caller may have cancelled while queued; resolving a

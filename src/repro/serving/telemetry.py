@@ -39,6 +39,11 @@ class ServiceTelemetry:
         self._served = 0
         self._cache_served = 0
         self._errors = 0
+        self._updates = 0
+        self._update_seconds = 0.0
+        self._update_latencies: deque[float] = deque(maxlen=latency_window)
+        self._entries_invalidated = 0
+        self._entries_promoted = 0
 
     # ------------------------------------------------------------------
     def record_batch(self, occupancy: int, engine_seconds: float) -> None:
@@ -65,6 +70,18 @@ class ServiceTelemetry:
         with self._lock:
             self._errors += 1
 
+    def record_update(
+        self, seconds: float, invalidated: int = 0, promoted: int = 0
+    ) -> None:
+        """One applied graph delta: apply→refresh latency and how the
+        result cache was reconciled (entries dropped vs carried over)."""
+        with self._lock:
+            self._updates += 1
+            self._update_seconds += float(seconds)
+            self._update_latencies.append(float(seconds))
+            self._entries_invalidated += int(invalidated)
+            self._entries_promoted += int(promoted)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Flat stats dict (the service merges in cache stats).
@@ -81,6 +98,11 @@ class ServiceTelemetry:
             served = self._served
             cache_served = self._cache_served
             errors = self._errors
+            updates = self._updates
+            update_seconds = self._update_seconds
+            update_latencies = list(self._update_latencies)
+            entries_invalidated = self._entries_invalidated
+            entries_promoted = self._entries_promoted
         occupancy = occupancy_sum / batches if batches else 0.0
         seeds_per_s = served / engine_seconds if engine_seconds > 0.0 else 0.0
         return {
@@ -95,4 +117,9 @@ class ServiceTelemetry:
             "seeds_per_s": round(seeds_per_s, 1),
             "p50_latency_s": round(latency_percentile(latencies, 50.0), 6),
             "p95_latency_s": round(latency_percentile(latencies, 95.0), 6),
+            "updates": updates,
+            "update_seconds": round(update_seconds, 6),
+            "p50_update_s": round(latency_percentile(update_latencies, 50.0), 6),
+            "entries_invalidated": entries_invalidated,
+            "entries_promoted": entries_promoted,
         }

@@ -1,0 +1,174 @@
+"""Tests for :meth:`LACA.refresh`: tracking a store without refitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LacaConfig
+from repro.core.pipeline import LACA
+from repro.graphs import GraphDelta, GraphStore
+
+
+def _unit_rows(rng, n, d):
+    rows = np.abs(rng.normal(size=(n, d))) + 0.05
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def _assert_matches_fresh_fit(model, config, graph, seeds, size=25):
+    fresh = LACA(config).fit(graph)
+    for seed in seeds:
+        np.testing.assert_array_equal(
+            model.cluster(seed, size), fresh.cluster(seed, size)
+        )
+
+
+class TestRefresh:
+    def test_structural_refresh_is_free_and_exact(self, small_sbm):
+        config = LacaConfig(k=16)
+        model = LACA(config).fit(small_sbm)
+        tnam_before = model.tnam
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(add_edges=[(0, 60), (5, 90)]))
+        store.apply(GraphDelta(remove_edges=[(0, 60)]))
+        model.refresh(store)
+        assert model.graph is store.head
+        assert model.tnam is tnam_before  # attributes untouched: no work
+        _assert_matches_fresh_fit(model, config, store.head, (0, 5, 60, 90))
+
+    def test_attribute_refresh_updates_tnam(self, rng, small_sbm):
+        config = LacaConfig(k=32)
+        model = LACA(config).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(
+            set_attributes=([4, 33], _unit_rows(rng, 2, small_sbm.d))
+        ))
+        model.refresh(store)
+        _assert_matches_fresh_fit(model, config, store.head, (0, 4, 33, 80))
+
+    def test_node_append_refresh(self, rng, small_sbm):
+        config = LacaConfig(k=32)
+        model = LACA(config).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        n = small_sbm.n
+        store.apply(GraphDelta(
+            add_nodes=2,
+            add_edges=[(n, 0), (n, 3), (n + 1, 7)],
+            add_attributes=_unit_rows(rng, 2, small_sbm.d),
+            add_communities=[0, 1],
+        ))
+        model.refresh(store)
+        assert model.graph.n == n + 2
+        _assert_matches_fresh_fit(model, config, store.head, (0, n, n + 1))
+
+    def test_multi_delta_catchup(self, rng, small_sbm):
+        """A model several epochs behind folds all deltas in one refresh."""
+        config = LacaConfig(k=32)
+        model = LACA(config).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(add_edges=[(1, 61)]))
+        store.apply(GraphDelta(
+            set_attributes=([9], _unit_rows(rng, 1, small_sbm.d))
+        ))
+        store.apply(GraphDelta(remove_edges=[(1, 61)]))
+        model.refresh(store)
+        assert model.graph.epoch == 3
+        _assert_matches_fresh_fit(model, config, store.head, (0, 1, 9, 61))
+
+    def test_history_overflow_falls_back_to_rebuild(self, rng, small_sbm):
+        config = LacaConfig(k=16)
+        model = LACA(config).fit(small_sbm)
+        store = GraphStore(small_sbm, history=1)
+        for node in (3, 14, 15):
+            store.apply(GraphDelta(
+                set_attributes=([node], _unit_rows(rng, 1, small_sbm.d))
+            ))
+        assert store.attribute_rows_since(0) is None
+        model.refresh(store)
+        # The rebuild is bitwise identical to a fresh fit.
+        fresh = LACA(config).fit(store.head)
+        np.testing.assert_array_equal(model.tnam.z, fresh.tnam.z)
+
+    def test_refresh_same_epoch_is_noop(self, small_sbm):
+        model = LACA(LacaConfig(k=16)).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        tnam = model.tnam
+        model.refresh(store)
+        assert model.tnam is tnam
+        assert model.graph is small_sbm
+
+    def test_store_behind_model_rejected(self, small_sbm):
+        model = LACA(LacaConfig(k=16)).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(add_edges=[(0, 60)]))
+        model.refresh(store)
+        stale_store = GraphStore(small_sbm)  # still at epoch 0
+        with pytest.raises(ValueError, match="behind"):
+            model.refresh(stale_store)
+
+    def test_refresh_requires_fit(self, small_sbm):
+        with pytest.raises(RuntimeError, match="fit"):
+            LACA().refresh(GraphStore(small_sbm))
+
+    def test_non_snas_model_refresh(self, plain_graph):
+        config = LacaConfig(k=8)
+        model = LACA(config).fit(plain_graph)
+        store = GraphStore(plain_graph)
+        store.apply(GraphDelta(add_edges=[(0, 100)]))
+        model.refresh(store)
+        assert model.tnam is None
+        _assert_matches_fresh_fit(model, config, store.head, (0, 100), size=15)
+
+    def test_exp_cosine_refresh_matches_fresh_fit(self, rng, small_sbm):
+        config = LacaConfig(k=16, metric="exp_cosine")
+        model = LACA(config).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(
+            set_attributes=([11], _unit_rows(rng, 1, small_sbm.d))
+        ))
+        model.refresh(store)
+        fresh = LACA(config).fit(store.head)
+        np.testing.assert_array_equal(model.tnam.z, fresh.tnam.z)
+
+
+class TestFitStateEpoch:
+    def test_fit_state_round_trips_epoch_and_maintenance(self, small_sbm):
+        model = LACA(LacaConfig(k=16)).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        head = store.apply(GraphDelta(add_edges=[(2, 70)]))
+        model.refresh(store)
+        state = model.fit_state()
+        assert int(state["graph_epoch"]) == 1
+        reborn = LACA.from_fit_state(state, head)
+        assert reborn.graph.epoch == 1
+        np.testing.assert_array_equal(reborn.tnam.y, model.tnam.y)
+        np.testing.assert_array_equal(reborn.tnam.basis, model.tnam.basis)
+
+    def test_epoch_mismatch_rejected(self, small_sbm):
+        model = LACA(LacaConfig(k=16)).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        head = store.apply(GraphDelta(add_edges=[(2, 70)]))
+        model.refresh(store)
+        with pytest.raises(ValueError, match="epoch"):
+            LACA.from_fit_state(model.fit_state(), small_sbm)  # epoch 0 graph
+
+    def test_reloaded_model_keeps_updating_incrementally(
+        self, rng, small_sbm, monkeypatch
+    ):
+        """Persisted y/basis let a reloaded model absorb attribute deltas
+        without refitting."""
+        import repro.attributes.tnam as tnam_mod
+
+        config = LacaConfig(k=32)
+        model = LACA(config).fit(small_sbm)
+        reborn = LACA.from_fit_state(model.fit_state(), small_sbm)
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(
+            set_attributes=([6], _unit_rows(rng, 1, small_sbm.d))
+        ))
+
+        def boom(*_a, **_k):  # pragma: no cover - fails the test if hit
+            raise AssertionError("reloaded model refit instead of updating")
+
+        monkeypatch.setattr(tnam_mod, "truncated_svd", boom)
+        reborn.refresh(store)
+        monkeypatch.undo()
+        _assert_matches_fresh_fit(reborn, config, store.head, (0, 6))

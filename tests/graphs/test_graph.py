@@ -63,6 +63,22 @@ class TestConstruction:
         with pytest.raises(ValueError, match="isolated"):
             AttributedGraph(adjacency=adj)
 
+    def test_isolated_node_error_counts_and_names_offenders(self):
+        """The message is actionable: count plus the first offending ids."""
+        dense = np.zeros((8, 8))
+        dense[0, 1] = dense[1, 0] = 1.0
+        with pytest.raises(
+            ValueError, match=r"6 isolated node\(s\) \(node ids: 2, 3, 4, 5, 6, \.\.\.\)"
+        ):
+            AttributedGraph(adjacency=sp.csr_matrix(dense))
+
+    def test_isolated_node_error_short_list_has_no_ellipsis(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = 1.0
+        with pytest.raises(ValueError, match=r"ids: 2, 3\)") as excinfo:
+            AttributedGraph(adjacency=sp.csr_matrix(dense))
+        assert "..." not in str(excinfo.value)
+
     def test_rejects_wrong_attribute_rows(self):
         with pytest.raises(ValueError, match="attribute"):
             AttributedGraph.from_edges(3, [(0, 1), (1, 2)], attributes=np.ones((2, 4)))

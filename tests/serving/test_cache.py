@@ -64,28 +64,152 @@ class TestResultCache:
         cache = ResultCache(capacity=8)
         stats = cache.stats()
         assert stats["capacity"] == 8
-        assert {"size", "hits", "misses", "evictions", "hit_rate"} <= set(stats)
+        assert {
+            "size", "hits", "misses", "evictions", "hit_rate",
+            "invalidations", "promotions",
+        } <= set(stats)
+
+    def test_stats_snapshot_is_consistent_under_churn(self):
+        """Satellite: hit_rate/stats read all counters under the lock, so
+        a snapshot taken during concurrent get/put churn is never torn
+        (hits + misses always covers every completed lookup)."""
+        import threading
+
+        cache = ResultCache(capacity=32)
+        stop = threading.Event()
+        lookups = 8000
+
+        def churn():
+            for i in range(lookups):
+                key = query_key("m", i % 64, 5, "d")
+                if cache.get(key) is None:
+                    cache.put(key, np.array([i]))
+
+        worker = threading.Thread(target=churn)
+        worker.start()
+        try:
+            while not stop.is_set() and worker.is_alive():
+                stats = cache.stats()
+                assert 0.0 <= stats["hit_rate"] <= 1.0
+                total = stats["hits"] + stats["misses"]
+                assert total <= lookups
+                rate = cache.hit_rate
+                assert 0.0 <= rate <= 1.0
+        finally:
+            stop.set()
+            worker.join()
+        final = cache.stats()
+        assert final["hits"] + final["misses"] == lookups
+
+
+class TestEpochBehavior:
+    def test_keys_at_different_epochs_never_collide(self):
+        cache = ResultCache(capacity=8)
+        old = query_key("m", 0, 10, "d", epoch=0)
+        new = query_key("m", 0, 10, "d", epoch=1)
+        assert old != new
+        cache.put(old, np.array([1]))
+        assert cache.get(new) is None  # lazy invalidation: stale never hits
+
+    def test_advance_epoch_promotes_disjoint_supports(self):
+        cache = ResultCache(capacity=8)
+        stale = query_key("m", 0, 3, "d", epoch=0)
+        safe = query_key("m", 1, 3, "d", epoch=0)
+        blind = query_key("m", 2, 3, "d", epoch=0)
+        cache.put(stale, np.array([0, 5]), support=np.array([0, 5, 6]))
+        cache.put(safe, np.array([1, 9]), support=np.array([1, 9]))
+        cache.put(blind, np.array([2]))  # no recorded support
+        promoted, invalidated = cache.advance_epoch(1, touched=np.array([5]))
+        assert (promoted, invalidated) == (1, 2)
+        np.testing.assert_array_equal(
+            cache.get(query_key("m", 1, 3, "d", epoch=1)), [1, 9]
+        )
+        assert cache.get(query_key("m", 0, 3, "d", epoch=1)) is None
+        assert cache.get(query_key("m", 2, 3, "d", epoch=1)) is None
+
+    def test_advance_epoch_unknown_touched_drops_everything(self):
+        cache = ResultCache(capacity=8)
+        cache.put(query_key("m", 0, 3, "d"), np.array([0]), support=np.array([0]))
+        promoted, invalidated = cache.advance_epoch(1, touched=None)
+        assert (promoted, invalidated) == (0, 1)
+        assert len(cache) == 0
+
+    def test_advance_epoch_drops_stray_epoch_entries(self):
+        """Only entries at the expected (previous) epoch are promotable:
+        the touched set says nothing about deltas outside that window,
+        so a disjoint-support entry from an older epoch is still
+        dropped."""
+        cache = ResultCache(capacity=8)
+        stray = query_key("m", 0, 3, "d", epoch=0)
+        current = query_key("m", 1, 3, "d", epoch=2)
+        cache.put(stray, np.array([0]), support=np.array([0]))
+        cache.put(current, np.array([1]), support=np.array([1]))
+        promoted, invalidated = cache.advance_epoch(
+            3, touched=np.array([50]), expected_epoch=2
+        )
+        assert (promoted, invalidated) == (1, 1)
+        assert query_key("m", 1, 3, "d", epoch=3) in cache
+        assert query_key("m", 0, 3, "d", epoch=3) not in cache
+
+    def test_advance_epoch_empty_touched_promotes_all(self):
+        cache = ResultCache(capacity=8)
+        cache.put(query_key("m", 0, 3, "d"), np.array([0]), support=np.array([0]))
+        promoted, invalidated = cache.advance_epoch(1, touched=np.array([], dtype=np.int64))
+        assert (promoted, invalidated) == (1, 0)
+
+    def test_advance_epoch_preserves_lru_order(self):
+        cache = ResultCache(capacity=2)
+        a = query_key("m", 0, 3, "d")
+        b = query_key("m", 1, 3, "d")
+        cache.put(a, np.array([0]), support=np.array([10]))
+        cache.put(b, np.array([1]), support=np.array([11]))
+        cache.get(a)  # a most recent
+        cache.advance_epoch(1, touched=np.array([99]))
+        cache.put(query_key("m", 2, 3, "d", epoch=1), np.array([2]))
+        # b was least recently used and should have been evicted
+        assert query_key("m", 1, 3, "d", epoch=1) not in cache
+        assert query_key("m", 0, 3, "d", epoch=1) in cache
 
 
 class TestConfigDigest:
+    #: One non-default value per LacaConfig field; the field-driven tests
+    #: below fail if a newly added knob is missing here, so digest
+    #: coverage can never silently lag the config schema.
+    _VARIANTS = {
+        "alpha": 0.9,
+        "sigma": 0.2,
+        "epsilon": 1e-5,
+        "k": 16,
+        "metric": "exp_cosine",
+        "delta": 2.0,
+        "use_snas": False,
+        "use_svd": False,
+        "diffusion": "greedy",
+    }
+
     def test_stable_across_instances(self):
         assert config_digest(LacaConfig()) == config_digest(LacaConfig())
 
-    def test_sensitive_to_every_knob(self):
+    def test_equal_nondefault_configs_hash_equal(self):
+        a = LacaConfig(**self._VARIANTS)
+        b = LacaConfig(**self._VARIANTS)
+        assert a is not b
+        assert config_digest(a) == config_digest(b)
+
+    def test_every_field_change_changes_the_digest(self):
+        import dataclasses
+
         base = LacaConfig()
-        variants = [
-            base.with_updates(alpha=0.9),
-            base.with_updates(sigma=0.2),
-            base.with_updates(epsilon=1e-5),
-            base.with_updates(k=16),
-            base.with_updates(metric="exp_cosine"),
-            base.with_updates(delta=2.0),
-            base.with_updates(use_snas=False),
-            base.with_updates(use_svd=False),
-            base.with_updates(diffusion="greedy"),
-        ]
-        digests = {config_digest(config) for config in [base] + variants}
-        assert len(digests) == len(variants) + 1
+        fields = {field.name for field in dataclasses.fields(LacaConfig)}
+        assert fields == set(self._VARIANTS), (
+            "LacaConfig gained/lost a field; update _VARIANTS so the "
+            "digest stays sensitive to it"
+        )
+        digests = {config_digest(base)}
+        for name, value in self._VARIANTS.items():
+            assert value != getattr(base, name)
+            digests.add(config_digest(base.with_updates(**{name: value})))
+        assert len(digests) == len(self._VARIANTS) + 1
 
     def test_key_separates_models_and_sizes(self):
         digest = config_digest(LacaConfig())

@@ -133,3 +133,66 @@ class TestModelRegistry:
         registry.evict("m")
         assert not registry.loaded("m")
         assert registry.get("m") is not first
+
+    def test_reload_after_evict_answers_identically(self, small_sbm, tmp_path):
+        """Evicting only drops the memo: the reloaded instance is a
+        fresh object that clusters bitwise identically and is memoized
+        again."""
+        model, path = self._saved(small_sbm, tmp_path)
+        registry = ModelRegistry()
+        registry.register("m", path, small_sbm)
+        before = registry.get("m").cluster(17, 25)
+        registry.evict("m")
+        reloaded = registry.get("m")
+        assert registry.loaded("m")
+        assert registry.get("m") is reloaded  # memoized again
+        np.testing.assert_array_equal(reloaded.cluster(17, 25), before)
+        np.testing.assert_array_equal(reloaded.cluster(17, 25), model.cluster(17, 25))
+
+    def test_evict_unknown_or_unloaded_is_noop(self, small_sbm, tmp_path):
+        _, path = self._saved(small_sbm, tmp_path)
+        registry = ModelRegistry()
+        registry.register("m", path, small_sbm)
+        registry.evict("m")        # never loaded: nothing to drop
+        registry.evict("missing")  # never registered: still fine
+        assert "m" in registry and not registry.loaded("m")
+
+    def test_evict_keeps_other_models_loaded(self, small_sbm, tmp_path):
+        _, path_a = self._saved(small_sbm, tmp_path, "a")
+        _, path_b = self._saved(small_sbm, tmp_path, "b")
+        registry = ModelRegistry()
+        registry.register("a", path_a, small_sbm)
+        registry.register("b", path_b, small_sbm)
+        kept = registry.get("b")
+        registry.get("a")
+        registry.evict("a")
+        assert not registry.loaded("a")
+        assert registry.get("b") is kept
+
+
+class TestEpochRoundTrip:
+    def test_save_load_round_trips_epoch(self, small_sbm, tmp_path):
+        from repro.graphs import GraphDelta, GraphStore
+
+        config = LacaConfig(k=8)
+        model = LACA(config).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        head = store.apply(GraphDelta(add_edges=[(0, 60)]))
+        model.refresh(store)
+        path = save_model(model, tmp_path / "m")
+        loaded = load_model(path, head)
+        assert loaded.graph.epoch == 1
+        np.testing.assert_array_equal(
+            loaded.cluster(0, 20), model.cluster(0, 20)
+        )
+
+    def test_load_with_stale_epoch_graph_rejected(self, small_sbm, tmp_path):
+        from repro.graphs import GraphDelta, GraphStore
+
+        model = LACA(LacaConfig(k=8)).fit(small_sbm)
+        store = GraphStore(small_sbm)
+        store.apply(GraphDelta(add_edges=[(0, 60)]))
+        model.refresh(store)
+        path = save_model(model, tmp_path / "m")
+        with pytest.raises(ValueError, match="epoch"):
+            load_model(path, small_sbm)  # the epoch-0 snapshot

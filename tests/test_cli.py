@@ -148,6 +148,78 @@ class TestServeCLI:
         second = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
         assert second["members"] == first["members"]
 
+    def test_update_applies_jsonl_stream(self, small_sbm, tmp_path, capsys):
+        import numpy as np
+
+        from repro.graphs.io import load_graph
+
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        updates = tmp_path / "deltas.jsonl"
+        new_row = [float(x) for x in np.full(small_sbm.d, 0.3)]
+        updates.write_text(
+            "# comment\n"
+            + json.dumps({"add_edges": [[0, 60]]}) + "\n"
+            + json.dumps({
+                "add_nodes": 1,
+                "add_edges": [[small_sbm.n, 1], [small_sbm.n, 2]],
+                "add_attributes": [new_row],
+                "add_communities": [0],
+            }) + "\n"
+        )
+        out_path = tmp_path / "updated.npz"
+        code = cli_main([
+            "update", "--graph", str(graph_path),
+            "--updates", str(updates), "--out", str(out_path),
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [record["epoch"] for record in records] == [1, 2]
+        assert records[-1]["n"] == small_sbm.n + 1
+        reloaded = load_graph(out_path)
+        assert reloaded.epoch == 2
+        assert reloaded.n == small_sbm.n + 1
+
+    def test_update_refreshes_model_incrementally(
+        self, small_sbm, tmp_path, capsys
+    ):
+        from repro.core.pipeline import LACA
+        from repro.graphs.io import load_graph
+        from repro.serving import load_model, save_model
+
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        model_path = save_model(LACA(k=8).fit(small_sbm), tmp_path / "model")
+        updates = tmp_path / "deltas.jsonl"
+        updates.write_text(json.dumps({"add_edges": [[0, 60]]}) + "\n")
+        out_graph = tmp_path / "g2.npz"
+        out_model = tmp_path / "m2.npz"
+        code = cli_main([
+            "update", "--graph", str(graph_path), "--updates", str(updates),
+            "--out", str(out_graph),
+            "--model", str(model_path), "--save-model", str(out_model),
+        ])
+        assert code == 0
+        assert "refreshed model to epoch 1" in capsys.readouterr().err
+        head = load_graph(out_graph)
+        refreshed = load_model(out_model, head)
+        assert refreshed.graph.epoch == 1
+
+    def test_update_rejects_bad_delta_naming_epoch(self, small_sbm, tmp_path):
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        updates = tmp_path / "deltas.jsonl"
+        updates.write_text(json.dumps({"remove_edges": [[0, 0]]}) + "\n")
+        with pytest.raises(SystemExit, match="self-loop"):
+            cli_main(["update", "--graph", str(graph_path),
+                      "--updates", str(updates)])
+
+    def test_update_rejects_malformed_json(self, small_sbm, tmp_path):
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        updates = tmp_path / "deltas.jsonl"
+        updates.write_text("{not json\n")
+        with pytest.raises(SystemExit, match="line 1"):
+            cli_main(["update", "--graph", str(graph_path),
+                      "--updates", str(updates)])
+
     def test_serve_without_size_or_truth_fails(self, small_sbm, tmp_path):
         from repro.graphs.graph import AttributedGraph
 
