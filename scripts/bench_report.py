@@ -2,7 +2,7 @@
 """Benchmark report: record the serving-path performance trajectory.
 
 Runs the performance suite that matters for the serving north star and
-writes one JSON document (``BENCH_pr5.json`` by default) so the perf
+writes one JSON document (``BENCH_pr6.json`` by default) so the perf
 trajectory is tracked in-repo instead of vanishing with each session:
 
 * single-seed queries/sec — frontier kernels + workspace vs. the
@@ -16,7 +16,12 @@ trajectory is tracked in-repo instead of vanishing with each session:
 * update throughput — incremental ``GraphStore.apply`` +
   ``LACA.refresh`` vs. the full-refit cold path, post-update query
   latency, and cache invalidation behavior (the PR 5 acceptance
-  evidence: ≥ 5× for single-edge deltas on the Fig. 10 graph).
+  evidence: ≥ 5× for single-edge deltas on the Fig. 10 graph);
+* pool throughput — :class:`PoolClusterService` (worker processes over
+  a shared-memory graph) vs. the single-process service at 256
+  in-flight requests on the Fig. 10 graph, with a bitwise-identity
+  check over every answer (the PR 6 acceptance evidence; the ≥ 3× bar
+  itself is host-dependent — ``cpu_count`` is recorded alongside).
 
 Usage::
 
@@ -29,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -49,7 +55,7 @@ from repro.graphs import (
     random_absent_edges,
 )
 from repro.graphs.datasets import load_dataset
-from repro.serving import ClusterService
+from repro.serving import ClusterService, PoolClusterService
 
 REFERENCE_PATCHES = {
     "greedy_diffuse": (
@@ -275,9 +281,63 @@ def bench_updates(scale: float, n_deltas: int, n_queries: int) -> dict:
     }
 
 
+def bench_pool(scale: float, n_requests: int, workers: int) -> dict:
+    """Pool vs. single-process throughput at ``n_requests`` in-flight,
+    plus the bitwise-identity check over every answer (PR 6 evidence).
+
+    The speedup is whatever the host's cores allow — ``cpu_count`` is
+    recorded so a 1-core CI number is never mistaken for a regression.
+    """
+    graph = load_dataset("arxiv", scale=scale)
+    model = LACA(LacaConfig(metric="cosine", diffusion="greedy")).fit(graph)
+    seeds = [
+        int(s)
+        for s in np.random.default_rng(3).choice(
+            graph.n, size=n_requests, replace=True
+        )
+    ]
+
+    def drain(service):
+        start = time.perf_counter()
+        futures = [service.submit(seed, 20) for seed in seeds]
+        wait(futures)
+        elapsed = time.perf_counter() - start
+        return [future.result() for future in futures], elapsed
+
+    with ClusterService(
+        model, max_batch=32, max_wait_s=0.002, cache_size=0
+    ) as service:
+        drain(service)  # warm
+        single, single_s = drain(service)
+    with PoolClusterService(
+        model, workers=workers, max_batch=32, max_wait_s=0.002, cache_size=0
+    ) as pool:
+        drain(pool)  # warm (workers touch their shared pages)
+        pooled, pool_s = drain(pool)
+        stats = pool.stats()
+    return {
+        "graph": "arxiv",
+        "scale": scale,
+        "requests_in_flight": n_requests,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "bitwise_identical": all(
+            np.array_equal(a, b) for a, b in zip(single, pooled)
+        ),
+        "single_process_s": round(single_s, 3),
+        "pool_s": round(pool_s, 3),
+        "single_process_seeds_per_s": round(n_requests / single_s, 1),
+        "pool_seeds_per_s": round(n_requests / pool_s, 1),
+        "pool_speedup": round(single_s / pool_s, 2),
+        "worker_occupancy": stats["worker_occupancy"],
+        "shed": stats["shed"],
+        "deadline_misses": stats["deadline_misses"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--out", default="BENCH_pr6.json")
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -289,14 +349,17 @@ def main(argv=None) -> int:
         big_scale, small_scale, n_seeds, repeats = 4.0, 0.5, 4, 1
         batch_seeds, serve_requests = 64, 64
         update_deltas, update_queries = 8, 32
+        pool_scale, pool_requests, pool_workers = 4.0, 64, 2
     else:
         big_scale, small_scale, n_seeds, repeats = 21.0, 1.0, 8, 3
         batch_seeds, serve_requests = 192, 256
         update_deltas, update_queries = 32, 128
+        pool_scale, pool_requests = 21.0, 256
+        pool_workers = min(4, max(2, os.cpu_count() or 1))
 
     started = time.time()
     report = {
-        "pr": 5,
+        "pr": 6,
         "smoke": args.smoke,
         "host": {
             "python": platform.python_version(),
@@ -319,6 +382,9 @@ def main(argv=None) -> int:
         "update_throughput": bench_updates(
             big_scale, update_deltas, update_queries
         ),
+        # The PR 6 acceptance evidence: the worker pool over the shared-
+        # memory graph vs. the single-process service, 256 in-flight.
+        "pool_throughput": bench_pool(pool_scale, pool_requests, pool_workers),
     }
     report["wall_seconds"] = round(time.time() - started, 1)
 
@@ -338,6 +404,14 @@ def main(argv=None) -> int:
         f"refit {updates['full_refit_s']:.2f}s "
         f"({updates['speedup_vs_refit']:.0f}x), post-update p50 "
         f"{updates['post_update_query_p50_ms']:.2f} ms"
+    )
+    pool = report["pool_throughput"]
+    print(
+        f"pool       {pool['single_process_seeds_per_s']:.1f} -> "
+        f"{pool['pool_seeds_per_s']:.1f} seeds/s "
+        f"({pool['pool_speedup']:.2f}x, {pool['workers']} workers on "
+        f"{pool['cpu_count']} cores, "
+        f"bitwise_identical={pool['bitwise_identical']})"
     )
     print(f"report written to {args.out} ({report['wall_seconds']}s)")
     return 0

@@ -27,6 +27,13 @@ per line (queries are ``seed [size]`` lines on stdin or in a file)::
     echo "42" | python -m repro serve --dataset cora --stats
     python -m repro serve --graph g.npz --model m.npz --size 50
 
+Fan the same queries out to a process pool over a shared-memory graph
+(``--max-pending``/``--deadline-ms`` bound what the pool will buffer)::
+
+    python -m repro serve --dataset cora --workers 4 --queries queries.txt
+    python -m repro serve --dataset cora --workers 4 --max-pending 4096 \
+        --deadline-ms 500 --stats
+
 Apply a stream of graph deltas (one JSON object per line) to a saved
 graph, producing the next epoch-stamped snapshot — optionally carrying a
 fitted model along incrementally instead of refitting::
@@ -242,7 +249,12 @@ def _read_queries(source, default_size, graph):
 
 def _cmd_serve(args) -> int:
     from .core.pipeline import LACA
-    from .serving import ClusterService, load_model, save_model
+    from .serving import (
+        ClusterService,
+        PoolClusterService,
+        load_model,
+        save_model,
+    )
 
     graph = _load_cli_graph(args)
     if args.model:
@@ -271,12 +283,26 @@ def _cmd_serve(args) -> int:
         print("no queries", file=sys.stderr)
         return 0
 
-    with ClusterService(
-        model,
-        max_batch=args.max_batch,
-        max_wait_s=args.max_wait_ms / 1000.0,
-        cache_size=args.cache_size,
-    ) as service:
+    if args.workers > 0:
+        service_ctx = PoolClusterService(
+            model,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            deadline_s=(
+                args.deadline_ms / 1000.0 if args.deadline_ms else None
+            ),
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            cache_size=args.cache_size,
+        )
+    else:
+        service_ctx = ClusterService(
+            model,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            cache_size=args.cache_size,
+        )
+    with service_ctx as service:
         # Submit everything up front so concurrent queries coalesce into
         # blocks, then stream results back in input order.
         submitted = [
@@ -441,6 +467,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalescing window per dispatched block")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="result-cache capacity (0 disables)")
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="serve through N worker processes sharing the graph via "
+        "shared memory (0 = in-process service)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission bound for --workers: shed submissions beyond N "
+        "pending requests (default: unbounded)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline for --workers: drop requests still "
+        "queued after MS milliseconds (default: no deadline)",
+    )
     serve.add_argument("--stats", action="store_true",
                        help="print service telemetry to stderr at the end")
 

@@ -218,7 +218,7 @@ class LACA:
         return clusters
 
     # ------------------------------------------------------------------
-    def fit_state(self) -> dict[str, np.ndarray]:
+    def fit_state(self, include_maintenance: bool = True) -> dict[str, np.ndarray]:
         """Flat array mapping capturing everything :meth:`fit` computed.
 
         The mapping is ``np.savez``-ready (plain arrays, no pickle) and
@@ -227,6 +227,12 @@ class LACA:
         (absent when fit built none), plus provenance.  The graph itself
         is *not* included — graphs have their own archive format in
         :mod:`repro.graphs.io` and are typically shared by many models.
+
+        ``include_maintenance=False`` drops the TNAM maintenance arrays
+        (``tnam_y``/``tnam_basis``), which only matter to a model that
+        will keep absorbing deltas itself.  Serving-pool workers never
+        refresh — the parent refreshes and republishes — so their
+        hydration state skips those (often large) arrays entirely.
         """
         graph = self._require_fit()
         state: dict[str, np.ndarray] = {
@@ -247,10 +253,11 @@ class LACA:
             state["tnam_delta"] = np.asarray(self.tnam.delta)
             # Maintenance state: lets a reloaded model keep absorbing
             # graph deltas incrementally instead of refitting.
-            if self.tnam.y is not None:
-                state["tnam_y"] = self.tnam.y
-            if self.tnam.basis is not None:
-                state["tnam_basis"] = self.tnam.basis
+            if include_maintenance:
+                if self.tnam.y is not None:
+                    state["tnam_y"] = self.tnam.y
+                if self.tnam.basis is not None:
+                    state["tnam_basis"] = self.tnam.basis
         return state
 
     @classmethod

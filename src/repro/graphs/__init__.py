@@ -21,6 +21,12 @@ from .datasets import (
     load_dataset,
 )
 from .io import load_graph, save_graph
+from .shm import (
+    AttachedSnapshot,
+    SharedSnapshot,
+    attach_snapshot,
+    publish_snapshot,
+)
 from .store import GraphDelta, GraphStore
 from .corruption import (
     add_random_edges,
@@ -56,6 +62,10 @@ __all__ = [
     "load_dataset",
     "load_graph",
     "save_graph",
+    "AttachedSnapshot",
+    "SharedSnapshot",
+    "attach_snapshot",
+    "publish_snapshot",
     "GraphDelta",
     "GraphStore",
     "add_random_edges",

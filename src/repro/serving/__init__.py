@@ -11,6 +11,10 @@ package turns the two into a long-lived service:
   thread-safe micro-batching scheduler that coalesces concurrent
   ``submit`` calls into block diffusions and applies live graph deltas
   (``apply_update``) without dropping traffic;
+- :mod:`~repro.serving.pool` — :class:`PoolClusterService`, the same
+  front-end fanned out to worker *processes* over a shared-memory
+  graph (:mod:`repro.graphs.shm`), with admission control
+  (``max_pending`` load-shedding, per-request deadlines);
 - :mod:`~repro.serving.cache` — the epoch-aware LRU
   :class:`ResultCache` and the :func:`config_digest` that keys it;
 - :mod:`~repro.serving.telemetry` — per-service latency/occupancy/
@@ -30,14 +34,19 @@ Typical use::
 
 from .cache import ResultCache, config_digest, query_key
 from .persistence import ModelRegistry, load_model, save_model
-from .service import ClusterService
+from .pool import DeadlineExceeded, PoolClusterService, PoolSaturated
+from .service import ClusterService, UpdateTimeout
 from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ClusterService",
+    "DeadlineExceeded",
     "ModelRegistry",
+    "PoolClusterService",
+    "PoolSaturated",
     "ResultCache",
     "ServiceTelemetry",
+    "UpdateTimeout",
     "config_digest",
     "load_model",
     "query_key",

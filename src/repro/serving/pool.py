@@ -1,0 +1,602 @@
+"""Multi-process serving: a worker pool over one shared-memory graph.
+
+:class:`~repro.serving.service.ClusterService` parallelizes *within* a
+block (one sparse mat-mat answers the whole batch) but a single process
+still serializes blocks — one GIL, one BLAS context.
+:class:`PoolClusterService` keeps the exact same front-end (``submit`` /
+``cluster`` / ``apply_update`` / ``stats``) and fans the gathered blocks
+out to ``workers`` OS processes instead:
+
+- the head snapshot's CSR arrays and TNAM factor are published **once**
+  into :mod:`multiprocessing.shared_memory` segments
+  (:func:`~repro.graphs.shm.publish_snapshot`); each worker attaches a
+  zero-copy :class:`~repro.graphs.graph.AttributedGraph` view, hydrates
+  a :class:`~repro.core.pipeline.LACA` from the parent's fit state
+  (:meth:`LACA.from_fit_state` — no refitting), and owns a private
+  :class:`~repro.diffusion.workspace.DiffusionWorkspace`;
+- the dispatcher thread gathers blocks exactly as before but *assigns*
+  them to the least-loaded live worker and moves on — a collector
+  thread resolves futures as results stream back, so all workers
+  compute concurrently;
+- answers are **bitwise identical** to :meth:`LACA.cluster`: same
+  arrays (shared pages), same engines, same arithmetic.
+
+Epoch advances reuse the in-process marker mechanism and add a barrier:
+:meth:`_propagate_refresh` publishes the refreshed snapshot, enqueues a
+``reload`` message on every worker's task queue — FIFO order *is* the
+barrier: the reload rides behind every block gathered before the
+marker, so no worker ever answers a post-marker request on a pre-marker
+snapshot — and waits for all acks before unlinking the old segments.  A
+worker that fails to reload fails the service closed (it could
+otherwise silently serve stale answers).
+
+Admission control bounds what the pool will buffer: ``max_pending``
+caps in-flight requests (excess is shed with :class:`PoolSaturated`),
+and ``deadline_s`` stamps each admitted request with a deadline —
+requests still queued when it passes are dropped with
+:class:`DeadlineExceeded` instead of being computed late.  Both surface
+in :meth:`stats` (``shed``, ``deadline_misses``, ``worker_occupancy``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+
+import numpy as np
+
+from ..core.laca import top_k_cluster
+from ..core.pipeline import LACA
+from ..graphs.shm import attach_snapshot, publish_snapshot
+from ..graphs.store import GraphStore
+from .service import (
+    ClusterService,
+    _batch_support,
+    _fail_future,
+    _Request,
+    _result_support,
+)
+
+__all__ = ["PoolClusterService", "PoolSaturated", "DeadlineExceeded"]
+
+
+class PoolSaturated(RuntimeError):
+    """Typed load-shed rejection: the pool's pending-queue bound is hit.
+
+    Raised by ``submit`` *before* enqueueing, so no future is created —
+    the caller backs off (or retries) immediately instead of queueing
+    work the pool cannot absorb.
+    """
+
+
+class DeadlineExceeded(TimeoutError):
+    """An admitted request's deadline passed while it waited in queue.
+
+    The request was never dispatched to a worker: shedding it at
+    dispatch time keeps a backed-up pool from burning cycles computing
+    answers nobody is still waiting for.
+    """
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """Best-effort picklable stand-in for ``exc`` (queues pickle)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _compute_block(model, workspace, seeds, sizes):
+    """Worker-side mirror of ``ClusterService._answer_block``'s compute.
+
+    Same fast paths as the in-process dispatcher (sequential workspace
+    for singletons, block engine otherwise), so pool answers stay
+    bitwise identical and path-independent.
+    """
+    start = time.perf_counter()
+    if len(seeds) == 1:
+        result = model.scores(seeds[0], workspace=workspace)
+        clusters = [
+            top_k_cluster(
+                result.scores, sizes[0], seeds[0],
+                support=result.scores_support,
+            )
+        ]
+        supports = [_result_support(result)]
+    else:
+        result = model.scores_batch(seeds)
+        clusters = [result.cluster(b, sizes[b]) for b in range(len(seeds))]
+        supports = [_batch_support(result, b) for b in range(len(seeds))]
+    return clusters, supports, time.perf_counter() - start
+
+
+def _hydrate(fit_state: dict, attached) -> LACA:
+    """Rebuild the parent's fitted model over the attached shared view.
+
+    The TNAM factor travels through shared memory, not the pickled fit
+    state: reinserting ``attached.tnam_z`` (float64 already, so
+    ``np.asarray`` inside ``from_fit_state`` copies nothing) keeps the
+    worker's model zero-copy end to end.
+    """
+    state = dict(fit_state)
+    if attached.tnam_z is not None:
+        state["tnam_z"] = attached.tnam_z
+    return LACA.from_fit_state(state, attached.graph)
+
+
+def _worker_main(worker_id, manifest, fit_state, tasks, results) -> None:
+    """Pool worker process: attach, hydrate, answer blocks until told to stop.
+
+    Messages in (FIFO — ordering is the epoch barrier):
+      ``("block", block_id, seeds, sizes)`` — answer one gathered block;
+      ``("reload", generation, manifest, fit_state)`` — re-attach the new
+      snapshot, then ack;
+      ``("stop",)`` — exit after the queue drained to here.
+    Messages out: ``("result", worker_id, block_id, payload, error)`` and
+    ``("reload-ack", worker_id, generation, error)``.
+    """
+    attached = attach_snapshot(manifest)
+    model = _hydrate(fit_state, attached)
+    workspace = model.make_workspace()
+    while True:
+        message = tasks.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "reload":
+            _, generation, new_manifest, new_state = message
+            try:
+                fresh = attach_snapshot(new_manifest)
+                model = _hydrate(new_state, fresh)
+                workspace = model.make_workspace()
+                attached.close()
+                attached = fresh
+                results.put(("reload-ack", worker_id, generation, None))
+            except BaseException as exc:  # noqa: BLE001 — must always ack
+                results.put(
+                    ("reload-ack", worker_id, generation, _portable_error(exc))
+                )
+            continue
+        _, block_id, seeds, sizes = message
+        try:
+            payload = _compute_block(model, workspace, seeds, sizes)
+            results.put(("result", worker_id, block_id, payload, None))
+        except BaseException as exc:  # noqa: BLE001 — must always answer
+            results.put(
+                ("result", worker_id, block_id, None, _portable_error(exc))
+            )
+    attached.close()
+
+
+class PoolClusterService(ClusterService):
+    """:class:`ClusterService` front-end, multi-process back-end.
+
+    Parameters (beyond :class:`ClusterService`'s)
+    ----------
+    workers:
+        Number of worker processes.  Each holds a zero-copy view of the
+        shared graph and a private diffusion workspace.
+    max_pending:
+        Admission bound: highest number of admitted-but-unresolved
+        requests.  ``submit`` beyond it raises :class:`PoolSaturated`
+        (and the shed is counted in telemetry).  ``None`` = unbounded.
+    deadline_s:
+        Per-request deadline stamped at admission.  A request still
+        undisptached when it expires fails with
+        :class:`DeadlineExceeded` instead of occupying a worker.
+        ``None`` = no deadlines.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/...).
+        Default: ``fork`` where available (Linux — instant start), else
+        ``spawn``.  Workers are started before any service thread, so
+        fork is safe here.
+    reload_timeout_s:
+        How long an epoch advance waits for every worker to ack its
+        reload before failing the service closed.
+    """
+
+    def __init__(
+        self,
+        model: LACA,
+        *,
+        workers: int = 2,
+        max_pending: int | None = None,
+        deadline_s: float | None = None,
+        mp_context: str | None = None,
+        reload_timeout_s: float = 60.0,
+        store: GraphStore | None = None,
+        **kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        # The store-head refresh normally done by the base constructor
+        # must happen *before* the snapshot is published, so workers
+        # attach the snapshot the service will actually serve.
+        graph = model._require_fit()
+        if store is not None and store.head is not graph:
+            model.refresh(store)
+            graph = model._require_fit()
+
+        self.workers = int(workers)
+        self.max_pending = max_pending if max_pending is None else int(max_pending)
+        self.deadline_s = deadline_s if deadline_s is None else float(deadline_s)
+        self._reload_timeout_s = float(reload_timeout_s)
+
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(mp_context)
+
+        self._shared = publish_snapshot(
+            graph, tnam_z=model.tnam.z if model.tnam is not None else None
+        )
+        worker_state = self._worker_fit_state(model)
+        self._tasks = [ctx.SimpleQueue() for _ in range(self.workers)]
+        self._results = ctx.Queue()
+        # Pool state shared between dispatcher and collector.
+        self._pool_lock = threading.Lock()
+        self._pending = 0
+        self._next_block = 0
+        self._inflight: dict[int, tuple[int, list[_Request]]] = {}
+        self._outstanding = [0] * self.workers
+        self._worker_dead = [False] * self.workers
+        self._reload_generation = 0
+        self._reload_acks = 0
+        self._reload_needed = 0
+        self._reload_errors: list[BaseException] = []
+        self._reload_event = threading.Event()
+        self._collector_stop = threading.Event()
+        self._pool_closed = False
+
+        # Workers fork before any service thread exists (fork-with-
+        # threads is the classic multiprocessing deadlock).
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    i,
+                    self._shared.manifest,
+                    worker_state,
+                    self._tasks[i],
+                    self._results,
+                ),
+                name=f"cluster-pool-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        try:
+            for proc in self._procs:
+                proc.start()
+            super().__init__(model, store=store, **kwargs)
+        except BaseException:
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            self._shared.close()
+            raise
+        self._collector = threading.Thread(
+            target=self._collect_loop,
+            name=f"cluster-pool-collector-{self.name}",
+            daemon=True,
+        )
+        self._collector.start()
+
+    @staticmethod
+    def _worker_fit_state(model: LACA) -> dict:
+        """Hydration state shipped to workers: no maintenance arrays
+        (workers never refresh) and no TNAM factor (it travels through
+        shared memory instead of the pickle)."""
+        state = model.fit_state(include_maintenance=False)
+        state.pop("tnam_z", None)
+        return state
+
+    # ------------------------------------------------------------------
+    # Admission control (runs under the close lock, from submit()).
+    def _admit(self, request: _Request) -> None:
+        with self._pool_lock:
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                self.telemetry.record_shed()
+                raise PoolSaturated(
+                    f"pool is saturated: {self._pending} requests pending "
+                    f"(max_pending={self.max_pending}); retry after backoff"
+                )
+            self._pending += 1
+        if self.deadline_s is not None:
+            request.deadline = request.enqueued_at + self.deadline_s
+        request.future.add_done_callback(self._release_admission)
+
+    def _release_admission(self, _future) -> None:
+        with self._pool_lock:
+            self._pending -= 1
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet resolved (the admission ledger)."""
+        with self._pool_lock:
+            return self._pending
+
+    # ------------------------------------------------------------------
+    # Dispatch: assign the gathered block to a worker and move on.
+    def _answer(self, block: list[_Request]) -> None:
+        if self._failed is not None:
+            error = RuntimeError("service is failed: an update did not land")
+            error.__cause__ = self._failed
+            for request in block:
+                self.telemetry.record_error()
+                _fail_future(request.future, error)
+            return
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for request in block:
+            if request.deadline is not None and now > request.deadline:
+                self.telemetry.record_deadline_miss()
+                _fail_future(
+                    request.future,
+                    DeadlineExceeded(
+                        f"request (seed={request.seed}) spent more than "
+                        f"{self.deadline_s}s queued and was dropped undispatched"
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        with self._pool_lock:
+            alive = [
+                i
+                for i in range(self.workers)
+                if not self._worker_dead[i] and self._procs[i].is_alive()
+            ]
+            if alive:
+                worker_id = min(alive, key=lambda i: self._outstanding[i])
+                block_id = self._next_block
+                self._next_block += 1
+                self._inflight[block_id] = (worker_id, live)
+                self._outstanding[worker_id] += 1
+        if not alive:
+            error = RuntimeError("every pool worker is dead; the service is failed")
+            with self._close_lock:
+                if self._failed is None:
+                    self._failed = error
+            for request in live:
+                self.telemetry.record_error()
+                _fail_future(request.future, error)
+            return
+        try:
+            self._tasks[worker_id].put(
+                (
+                    "block",
+                    block_id,
+                    [int(request.seed) for request in live],
+                    [int(request.size) for request in live],
+                )
+            )
+        except BaseException as exc:  # worker pipe broke mid-dispatch
+            with self._pool_lock:
+                self._inflight.pop(block_id, None)
+                self._outstanding[worker_id] -= 1
+                self._worker_dead[worker_id] = True
+            error = RuntimeError(f"dispatch to pool worker {worker_id} failed")
+            error.__cause__ = exc
+            for request in live:
+                self.telemetry.record_error()
+                _fail_future(request.future, error)
+
+    # ------------------------------------------------------------------
+    # Collector: resolve futures as workers stream results back.
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                message = self._results.get(timeout=0.25)
+            except queue.Empty:
+                if self._collector_stop.is_set():
+                    return
+                self._reap_dead_workers()
+                continue
+            except (OSError, EOFError):
+                return  # queue torn down under us during interpreter exit
+            kind = message[0]
+            if kind == "collector-stop":
+                return
+            try:
+                if kind == "reload-ack":
+                    self._note_reload_ack(message)
+                elif kind == "result":
+                    _, worker_id, block_id, payload, error = message
+                    self._resolve_block(worker_id, block_id, payload, error)
+            except BaseException as exc:  # noqa: BLE001 — keep collecting
+                if kind == "result":
+                    _, worker_id, block_id, _payload, _err = message
+                    entry = None
+                    with self._pool_lock:
+                        entry = self._inflight.pop(block_id, None)
+                    if entry is not None:
+                        for request in entry[1]:
+                            _fail_future(request.future, exc)
+
+    def _note_reload_ack(self, message) -> None:
+        _, _worker_id, generation, error = message
+        with self._pool_lock:
+            if generation != self._reload_generation:
+                return  # stale ack from an abandoned reload
+            if error is not None:
+                self._reload_errors.append(error)
+            self._reload_acks += 1
+            if self._reload_acks >= self._reload_needed:
+                self._reload_event.set()
+
+    def _resolve_block(self, worker_id, block_id, payload, error) -> None:
+        with self._pool_lock:
+            entry = self._inflight.pop(block_id, None)
+            if entry is not None:
+                self._outstanding[worker_id] -= 1
+        if entry is None:
+            return  # already failed by close()/reap — late result
+        _, block = entry
+        if error is not None:
+            for request in block:
+                self.telemetry.record_error()
+                _fail_future(request.future, error)
+            return
+        clusters, supports, engine_seconds = payload
+        self.telemetry.record_batch(len(block), engine_seconds)
+        self.telemetry.record_worker_batch(worker_id, len(block))
+        now = time.perf_counter()
+        for request, cluster, support in zip(block, clusters, supports):
+            cluster = np.asarray(cluster)
+            if self.cache is not None:
+                cluster = self.cache.put(request.key, cluster, support)
+            else:
+                cluster.setflags(write=False)
+            if not request.future.set_running_or_notify_cancel():
+                continue  # cancelled while queued; answer stays cached
+            self.telemetry.record_latency(now - request.enqueued_at)
+            request.future.set_result(cluster)
+
+    def _reap_dead_workers(self) -> None:
+        """Fail the in-flight blocks of any worker that died.
+
+        The pool keeps serving on the survivors (degraded, not failed);
+        only when *every* worker is gone does dispatch fail the service.
+        """
+        for worker_id, proc in enumerate(self._procs):
+            with self._pool_lock:
+                if self._worker_dead[worker_id] or proc.is_alive():
+                    continue
+                self._worker_dead[worker_id] = True
+                lost = [
+                    (block_id, entry[1])
+                    for block_id, entry in self._inflight.items()
+                    if entry[0] == worker_id
+                ]
+                for block_id, _ in lost:
+                    self._inflight.pop(block_id)
+                self._outstanding[worker_id] = 0
+            error = RuntimeError(
+                f"pool worker {worker_id} died "
+                f"(exit code {proc.exitcode}); its in-flight requests failed"
+            )
+            for _, requests in lost:
+                for request in requests:
+                    self.telemetry.record_error()
+                    _fail_future(request.future, error)
+
+    # ------------------------------------------------------------------
+    # Epoch barrier: republish, reload every worker, then retire the old
+    # segments.  Runs on the dispatcher thread from _refresh(), after
+    # the parent model refreshed but before the serving epoch advances.
+    def _propagate_refresh(self, head) -> None:
+        model = self.model
+        shared = publish_snapshot(
+            head, tnam_z=model.tnam.z if model.tnam is not None else None
+        )
+        try:
+            state = self._worker_fit_state(model)
+            with self._pool_lock:
+                live = [
+                    i for i in range(self.workers) if not self._worker_dead[i]
+                ]
+                self._reload_generation += 1
+                generation = self._reload_generation
+                self._reload_acks = 0
+                self._reload_needed = len(live)
+                self._reload_errors = []
+                self._reload_event.clear()
+            if not live:
+                raise RuntimeError("no live pool workers to reload")
+            for worker_id in live:
+                # FIFO: this rides behind every pre-marker block already
+                # on the worker's queue — the epoch barrier.
+                self._tasks[worker_id].put(
+                    ("reload", generation, shared.manifest, state)
+                )
+            if not self._reload_event.wait(self._reload_timeout_s):
+                raise RuntimeError(
+                    f"epoch {head.epoch} reload: not every worker acked "
+                    f"within {self._reload_timeout_s}s"
+                )
+            with self._pool_lock:
+                errors = list(self._reload_errors)
+            if errors:
+                raise RuntimeError(
+                    f"epoch {head.epoch} reload failed in "
+                    f"{len(errors)} worker(s)"
+                ) from errors[0]
+        except BaseException:
+            shared.close()  # don't leak segments for a failed reload
+            raise
+        old = self._shared
+        self._shared = shared
+        # Every worker acked: old mappings are closed, and unlinked
+        # segments stay valid for any mapping that still exists anyway.
+        old.close()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        snapshot = super().stats()
+        with self._pool_lock:
+            snapshot["workers"] = self.workers
+            snapshot["workers_alive"] = sum(
+                1 for dead in self._worker_dead if not dead
+            )
+            snapshot["pending"] = self._pending
+            snapshot["inflight_blocks"] = len(self._inflight)
+        snapshot["max_pending"] = self.max_pending
+        snapshot["deadline_s"] = self.deadline_s
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = None) -> bool:
+        clean = super().close(timeout)
+        with self._pool_lock:
+            if self._pool_closed:
+                return clean
+            self._pool_closed = True
+        for tasks in self._tasks:
+            try:
+                tasks.put(("stop",))
+            except Exception:
+                pass  # already-broken pipe of a dead worker
+        budget = 30.0 if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                clean = False
+                proc.terminate()
+                proc.join(5.0)
+        # Workers exited (or were killed) — anything they flushed is in
+        # the result queue ahead of this stop marker, so the collector
+        # resolves every last future before exiting.
+        self._collector_stop.set()
+        try:
+            self._results.put(("collector-stop",))
+        except Exception:
+            pass
+        self._collector.join(max(1.0, deadline - time.monotonic()))
+        if self._collector.is_alive():
+            clean = False
+        with self._pool_lock:
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+        if leftovers:
+            error = RuntimeError(
+                "service closed before this request was answered "
+                "(its pool worker was terminated)"
+            )
+            for _, requests in leftovers:
+                for request in requests:
+                    self.telemetry.record_error()
+                    _fail_future(request.future, error)
+        self._shared.close()
+        return clean

@@ -18,6 +18,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,10 +29,47 @@ from ..graphs.store import GraphDelta, GraphStore
 from .cache import ResultCache, config_digest, query_key
 from .telemetry import ServiceTelemetry
 
-__all__ = ["ClusterService"]
+__all__ = ["ClusterService", "UpdateTimeout"]
 
 #: Queue sentinel that tells the dispatcher to exit after the current block.
 _SHUTDOWN = object()
+
+
+class UpdateTimeout(TimeoutError):
+    """:meth:`ClusterService.apply_update` hit its ``timeout`` first.
+
+    The update is *not* lost and the service is *not* inconsistent: the
+    store already advanced, new submissions are keyed at the new epoch
+    and queued behind the refresh marker, and the marker still lands in
+    dispatch order — the model is refreshed before any of those queued
+    requests is answered.  :attr:`pending` resolves to the marker's
+    ``(promoted, invalidated)`` cache counts once it does (or raises if
+    the refresh failed, at which point the service fails closed).
+    """
+
+    def __init__(self, message: str, pending: Future) -> None:
+        super().__init__(message)
+        self.pending = pending
+
+
+def _fail_future(future: Future, exc: BaseException) -> None:
+    """Resolve ``future`` with ``exc`` if nobody else resolved it yet.
+
+    Tolerates every state a dispatcher crash can leave a future in
+    (pending, cancelled, already running, already resolved) — the
+    liveness contract is that a submitted future always completes, and
+    this helper must never itself take the dispatcher down.
+    """
+    try:
+        if future.cancelled() or future.done():
+            return
+        if future.set_running_or_notify_cancel():
+            future.set_exception(exc)
+    except Exception:
+        try:
+            future.set_exception(exc)
+        except Exception:
+            pass  # resolved in a race: the caller got *an* answer
 
 
 @dataclass
@@ -43,6 +81,10 @@ class _Request:
     key: tuple
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    #: Absolute ``perf_counter`` deadline, or None for "no deadline".
+    #: Stamped by admission control (:class:`PoolClusterService`);
+    #: the in-process service never sets one.
+    deadline: float | None = None
 
 
 @dataclass
@@ -210,15 +252,32 @@ class ClusterService:
                     future.set_result(cached)
                     return future
             request = _Request(seed=seed, size=size, key=key)
+            self._admit(request)
             self._queue.put(request)
         return request.future
+
+    def _admit(self, request: _Request) -> None:
+        """Admission-control hook, called under the close lock just
+        before ``request`` is enqueued.  The in-process service admits
+        everything; :class:`~repro.serving.pool.PoolClusterService`
+        overrides this to bound queue depth (load-shedding with a typed
+        rejection) and stamp per-request deadlines."""
 
     def cluster(self, seed: int, size: int) -> np.ndarray:
         """Blocking convenience: ``submit(seed, size).result()``."""
         return self.submit(seed, size).result()
 
     def submit_many(self, seeds, size: int) -> list[Future]:
-        """Enqueue several queries at once (they coalesce naturally)."""
+        """Enqueue several queries at once (they coalesce naturally).
+
+        Partial-failure contract: validation is per-seed and fail-fast.
+        If a seed mid-list is invalid (out of range, bad size), the
+        exception propagates *after* every preceding seed was already
+        enqueued — those futures stay live, will be answered normally,
+        and are not returned by this call (nothing is rolled back).
+        Callers needing all-or-nothing semantics must validate the whole
+        list before submitting.
+        """
         return [self.submit(seed, size) for seed in seeds]
 
     # ------------------------------------------------------------------
@@ -241,6 +300,16 @@ class ClusterService:
         most ``timeout`` seconds).  Must not be called from a future
         callback — it would deadlock the dispatcher against itself.
         Returns a summary dict (new epoch/n/m, latency, cache counts).
+
+        Timeout semantics: if ``timeout`` expires before the refresh
+        marker lands, :class:`UpdateTimeout` is raised but the service
+        stays *consistent* — the epoch advance is already queued behind
+        the in-flight blocks and still lands in dispatch order, so every
+        request keyed at the new epoch is answered by the refreshed
+        model, and update telemetry is recorded when the marker
+        resolves.  The exception's ``pending`` future lets the caller
+        keep waiting; a refresh *failure* (as opposed to slowness) still
+        fails the service closed.
         """
         with self._update_lock:
             with self._close_lock:
@@ -269,9 +338,31 @@ class ClusterService:
                 self._epoch = head.epoch
                 self._n = head.n
                 self._queue.put(update)
-            promoted, invalidated = update.future.result(timeout)
+
+            # Telemetry rides a done-callback so the update is recorded
+            # whenever the marker lands — even past a caller timeout.
+            def _record(marker: Future) -> None:
+                if marker.cancelled() or marker.exception() is not None:
+                    return
+                landed_promoted, landed_invalidated = marker.result()
+                self.telemetry.record_update(
+                    time.perf_counter() - start,
+                    landed_invalidated,
+                    landed_promoted,
+                )
+
+            update.future.add_done_callback(_record)
+            try:
+                promoted, invalidated = update.future.result(timeout)
+            except (_FutureTimeout, TimeoutError):
+                raise UpdateTimeout(
+                    f"graph update to epoch {head.epoch} did not land within "
+                    f"{timeout}s; it is still queued behind in-flight blocks "
+                    "and every request keyed at the new epoch is answered "
+                    "after it (see .pending)",
+                    pending=update.future,
+                ) from None
             seconds = time.perf_counter() - start
-            self.telemetry.record_update(seconds, invalidated, promoted)
             return {
                 "epoch": head.epoch,
                 "n": head.n,
@@ -293,29 +384,78 @@ class ClusterService:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Telemetry snapshot merged with cache and identity info."""
+        """Telemetry snapshot merged with cache and identity info.
+
+        The epoch and cache numbers are read under the close lock — the
+        same lock :meth:`apply_update` and the dispatcher's refresh hold
+        while moving epochs — so a snapshot never pairs the *new* epoch
+        with the *old* epoch's cache contents (or vice versa).
+        """
         snapshot = self.telemetry.snapshot()
         snapshot["model"] = self.name
         snapshot["config_digest"] = self.digest
-        snapshot["epoch"] = self._epoch
         snapshot["max_batch"] = self.max_batch
         snapshot["max_wait_s"] = self.max_wait_s
-        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
-        snapshot["cache_hit_rate"] = (
-            self.cache.hit_rate if self.cache is not None else 0.0
-        )
+        with self._close_lock:
+            snapshot["epoch"] = self._epoch
+            snapshot["cache"] = (
+                self.cache.stats() if self.cache is not None else None
+            )
+            snapshot["cache_hit_rate"] = (
+                self.cache.hit_rate if self.cache is not None else 0.0
+            )
         return snapshot
 
     # ------------------------------------------------------------------
-    def close(self, timeout: float | None = None) -> None:
-        """Stop accepting queries, answer what is queued, join the thread."""
+    def close(self, timeout: float | None = None) -> bool:
+        """Stop accepting queries, answer what is queued, join the thread.
+
+        Returns ``True`` when the dispatcher exited within ``timeout``.
+        When it did not (a slow block, or a wedged worker downstream),
+        every future still sitting in the queue is failed with a
+        ``RuntimeError`` instead of being left to hang forever, and
+        ``False`` is returned — the caller knows the join was
+        incomplete rather than silently assuming a clean shutdown.  A
+        later ``close()`` re-joins and reports again.
+        """
         with self._close_lock:
-            if self._closed:
-                self._dispatcher.join(timeout)
-                return
-            self._closed = True
-            self._queue.put(_SHUTDOWN)
+            already_closed = self._closed
+            if not already_closed:
+                self._closed = True
+                self._queue.put(_SHUTDOWN)
         self._dispatcher.join(timeout)
+        if self._dispatcher.is_alive():
+            if not already_closed:
+                self._drain_queue(
+                    RuntimeError(
+                        "service closed before this request was answered "
+                        "(dispatcher did not finish within the close timeout)"
+                    )
+                )
+            return False
+        return True
+
+    def _drain_queue(self, exc: BaseException) -> None:
+        """Fail every future still queued; re-enqueue the sentinel last.
+
+        Used on an incomplete close and after a dispatcher crash: the
+        liveness contract is that no submitted future hangs forever.
+        The shutdown sentinel, if drained, goes back so a dispatcher
+        that eventually unwedges still terminates.
+        """
+        saw_shutdown = False
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                saw_shutdown = True
+                continue
+            self.telemetry.record_error()
+            _fail_future(item.future, exc)
+        if saw_shutdown:
+            self._queue.put(_SHUTDOWN)
 
     def __enter__(self) -> "ClusterService":
         return self
@@ -325,19 +465,57 @@ class ClusterService:
 
     # ------------------------------------------------------------------
     def _dispatch_loop(self) -> None:
+        """Drain the queue forever; one iteration, one block (or marker).
+
+        The loop itself must be crash-proof: an exception escaping an
+        iteration used to kill the thread silently, leaving every queued
+        and future request's future pending forever (callers block in
+        ``.result()`` with no error and no timeout).  Each iteration is
+        therefore guarded — on an unexpected escape the service fails
+        closed, the victim's future and everything queued behind it are
+        failed with the cause, and the loop *continues* so the shutdown
+        sentinel is still honored.
+        """
         while True:
             first = self._queue.get()
             if first is _SHUTDOWN:
                 return
-            if isinstance(first, _Update):
-                self._refresh(first)
-                continue
-            block, saw_shutdown, pending_update = self._gather_block(first)
-            self._answer(block)
-            if pending_update is not None:
-                self._refresh(pending_update)
+            saw_shutdown = False
+            try:
+                if isinstance(first, _Update):
+                    self._refresh(first)
+                    continue
+                block, saw_shutdown, pending_update = self._gather_block(first)
+                self._answer(block)
+                if pending_update is not None:
+                    self._refresh(pending_update)
+            except BaseException as exc:  # noqa: BLE001 — liveness guard
+                self._dispatcher_crashed(exc, first)
             if saw_shutdown:
+                # The sentinel was consumed while gathering; honor it
+                # even if answering the block crashed.
                 return
+
+    def _dispatcher_crashed(
+        self, exc: BaseException, first: "_Request | _Update"
+    ) -> None:
+        """Contain a dispatch-iteration escape: fail closed, hang nothing.
+
+        Marks the service failed (first crash wins), resolves the
+        triggering item's future with the cause, then drains the queue
+        failing everything behind it — new submissions are already
+        rejected at ``submit`` once ``_failed`` is set.
+        """
+        with self._close_lock:
+            if self._failed is None:
+                self._failed = exc
+        error = RuntimeError(
+            "dispatcher crashed while serving; the service is failed"
+        )
+        error.__cause__ = exc
+        self.telemetry.record_error()
+        _fail_future(first.future, error)
+        self._drain_queue(error)
 
     def _gather_block(
         self, first: _Request
@@ -383,31 +561,50 @@ class ClusterService:
         the model, and serving through that gap would poison the cache
         with stale answers under fresh keys.
         """
+        if self._failed is not None:
+            error = RuntimeError(
+                "service is failed: an earlier update did not land"
+            )
+            error.__cause__ = self._failed
+            _fail_future(update.future, error)
+            return
         try:
             previous = self.model._require_fit().epoch
             self.model.refresh(self._store)
             head = self.model._require_fit()
             self._workspace = self.model.make_workspace()
+            self._propagate_refresh(head)
+            promoted = invalidated = 0
+            # Epoch bump and cache reconciliation land under one hold of
+            # the close lock so stats() never observes the new epoch
+            # paired with the old epoch's cache (lock order is always
+            # _close_lock -> cache._lock, matching submit/stats).
             with self._close_lock:
                 if head.epoch > self._epoch:
                     self._epoch = head.epoch
                     self._n = head.n
-            promoted = invalidated = 0
-            if self.cache is not None:
-                touched = update.touched
-                if head.epoch != update.epoch:
-                    touched = self._store.touched_since(previous)
-                promoted, invalidated = self.cache.advance_epoch(
-                    head.epoch, touched, expected_epoch=previous
-                )
+                if self.cache is not None:
+                    touched = update.touched
+                    if head.epoch != update.epoch:
+                        touched = self._store.touched_since(previous)
+                    promoted, invalidated = self.cache.advance_epoch(
+                        head.epoch, touched, expected_epoch=previous
+                    )
         except Exception as exc:
             with self._close_lock:
                 self._failed = exc
-            if update.future.set_running_or_notify_cancel():
-                update.future.set_exception(exc)
+            _fail_future(update.future, exc)
             return
         if update.future.set_running_or_notify_cancel():
             update.future.set_result((promoted, invalidated))
+
+    def _propagate_refresh(self, head) -> None:
+        """Post-refresh hook, run on the dispatcher thread with the
+        refreshed model in hand but *before* the epoch advances.  The
+        in-process service needs nothing here;
+        :class:`~repro.serving.pool.PoolClusterService` overrides it to
+        republish shared-memory segments and barrier its workers onto
+        the new snapshot."""
 
     def _answer(self, block: list[_Request]) -> None:
         """One engine call for the whole block, then resolve its futures.
@@ -425,9 +622,25 @@ class ClusterService:
             error.__cause__ = self._failed
             for request in block:
                 self.telemetry.record_error()
-                if request.future.set_running_or_notify_cancel():
-                    request.future.set_exception(error)
+                _fail_future(request.future, error)
             return
+        try:
+            self._answer_block(block)
+        except BaseException as exc:  # noqa: BLE001 — liveness guard
+            # Something *outside* the engine call escaped (telemetry,
+            # cache insertion, a poisoned result object).  Resolve every
+            # future in the block before re-raising to the dispatch-loop
+            # guard — the gathered requests are no longer in the queue,
+            # so the loop's drain could never reach them.
+            error = RuntimeError(
+                "dispatcher crashed while resolving this block"
+            )
+            error.__cause__ = exc
+            for request in block:
+                _fail_future(request.future, error)
+            raise
+
+    def _answer_block(self, block: list[_Request]) -> None:
         start = time.perf_counter()
         try:
             if len(block) == 1:
@@ -452,8 +665,7 @@ class ClusterService:
         except Exception as exc:  # surface engine failures per-request
             for request in block:
                 self.telemetry.record_error()
-                if request.future.set_running_or_notify_cancel():
-                    request.future.set_exception(exc)
+                _fail_future(request.future, exc)
             return
         engine_seconds = time.perf_counter() - start
         self.telemetry.record_batch(len(block), engine_seconds)

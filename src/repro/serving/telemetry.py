@@ -44,6 +44,11 @@ class ServiceTelemetry:
         self._update_latencies: deque[float] = deque(maxlen=latency_window)
         self._entries_invalidated = 0
         self._entries_promoted = 0
+        # Pool-serving extensions (stay zero for in-process services).
+        self._shed = 0
+        self._deadline_misses = 0
+        self._worker_batches: dict[int, int] = {}
+        self._worker_seeds: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def record_batch(self, occupancy: int, engine_seconds: float) -> None:
@@ -69,6 +74,30 @@ class ServiceTelemetry:
     def record_error(self) -> None:
         with self._lock:
             self._errors += 1
+
+    def record_shed(self) -> None:
+        """One request rejected at admission (queue depth bound hit)."""
+        with self._lock:
+            self._shed += 1
+
+    def record_deadline_miss(self) -> None:
+        """One admitted request dropped because its deadline passed
+        while it sat in the queue (never dispatched to a worker)."""
+        with self._lock:
+            self._deadline_misses += 1
+
+    def record_worker_batch(self, worker_id: int, occupancy: int) -> None:
+        """One block answered by pool worker ``worker_id`` — the
+        per-worker occupancy ledger behind the ``worker_occupancy``
+        stats key (how evenly the dispatcher spreads load)."""
+        worker_id, occupancy = int(worker_id), int(occupancy)
+        with self._lock:
+            self._worker_batches[worker_id] = (
+                self._worker_batches.get(worker_id, 0) + 1
+            )
+            self._worker_seeds[worker_id] = (
+                self._worker_seeds.get(worker_id, 0) + occupancy
+            )
 
     def record_update(
         self, seconds: float, invalidated: int = 0, promoted: int = 0
@@ -103,6 +132,15 @@ class ServiceTelemetry:
             update_latencies = list(self._update_latencies)
             entries_invalidated = self._entries_invalidated
             entries_promoted = self._entries_promoted
+            shed = self._shed
+            deadline_misses = self._deadline_misses
+            worker_occupancy = {
+                worker_id: {
+                    "batches": self._worker_batches[worker_id],
+                    "seeds": self._worker_seeds.get(worker_id, 0),
+                }
+                for worker_id in sorted(self._worker_batches)
+            }
         occupancy = occupancy_sum / batches if batches else 0.0
         seeds_per_s = served / engine_seconds if engine_seconds > 0.0 else 0.0
         return {
@@ -122,4 +160,7 @@ class ServiceTelemetry:
             "p50_update_s": round(latency_percentile(update_latencies, 50.0), 6),
             "entries_invalidated": entries_invalidated,
             "entries_promoted": entries_promoted,
+            "shed": shed,
+            "deadline_misses": deadline_misses,
+            "worker_occupancy": worker_occupancy,
         }

@@ -7,13 +7,15 @@ dispatcher forms, every answer must equal the sequential
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.config import LacaConfig
 from repro.core.pipeline import LACA
-from repro.serving import ClusterService
+from repro.graphs import GraphDelta
+from repro.serving import ClusterService, UpdateTimeout
 
 ENGINES = ["greedy", "nongreedy", "adaptive"]
 
@@ -219,3 +221,192 @@ class TestLifecycleAndValidation:
         with ClusterService(model, max_wait_s=0.05) as service:
             futures = service.submit_many([0, 1, 2], size=12)
             assert all(len(future.result()) == 12 for future in futures)
+
+    def test_submit_many_partial_failure_keeps_earlier_seeds_live(
+        self, small_sbm
+    ):
+        """Documented partial-failure contract: an invalid seed mid-list
+        raises, but every seed before it was already enqueued and is
+        still answered normally (nothing is rolled back or orphaned)."""
+        model = _model(small_sbm)
+        service = ClusterService(model, max_wait_s=0.05)
+        with pytest.raises(IndexError, match="out of range"):
+            service.submit_many([0, 1, 10_000, 2], size=12)
+        assert service.close(timeout=10) is True  # answers queued work
+        stats = service.stats()
+        # Exactly the two seeds ahead of the bad one were served; the
+        # seed behind it never entered the queue.
+        assert stats["engine_served"] + stats["cache_served"] == 2
+        assert stats["errors"] == 0
+
+
+def _stall_single_queries(service, started, release):
+    """Replace the single-query path with one that parks until released.
+
+    Lets a test wedge the dispatcher deterministically: submit one
+    query, wait for ``started``, and everything submitted afterwards is
+    provably stuck *behind* it in the queue.
+    """
+    original = service.model.scores
+
+    def slow_scores(seed, workspace=None):
+        started.set()
+        release.wait(30)
+        return original(seed, workspace=workspace)
+
+    service.model.scores = slow_scores
+
+
+class TestFailureContainment:
+    """Regression tests for the hung-future bugfix sweep.
+
+    The liveness contract under test: *every* future handed out by the
+    service eventually resolves — with an answer or an error — no
+    matter how the dispatcher dies, how close() times out, or how slow
+    an update is.  Before the sweep each of these scenarios left
+    callers blocked forever in ``Future.result()``.
+    """
+
+    def test_dispatcher_crash_fails_block_futures(self, small_sbm):
+        """An exception escaping outside the engine call (here: poisoned
+        telemetry) used to kill the dispatcher thread silently, hanging
+        every in-flight future.  Now the block's futures are failed with
+        the cause and the service fails closed."""
+        model = _model(small_sbm)
+        service = ClusterService(model, max_wait_s=0.2, cache_size=0)
+
+        def poisoned(*_args, **_kwargs):
+            raise ZeroDivisionError("telemetry exploded")
+
+        service.telemetry.record_batch = poisoned
+        futures = [service.submit(seed, 10) for seed in (0, 1, 2)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="crashed"):
+                future.result(timeout=10)
+        with pytest.raises(RuntimeError, match="failed"):
+            service.submit(3, 10)
+        # The dispatcher survived the crash and still honors shutdown.
+        assert service.close(timeout=10) is True
+
+    def test_dispatcher_crash_drains_queued_requests(self, small_sbm):
+        """Requests queued *behind* a crashing block must resolve too:
+        the dispatcher drains them with the failure instead of leaving
+        them for a thread that will answer nothing further."""
+        model = _model(small_sbm)
+        started, release = threading.Event(), threading.Event()
+        service = ClusterService(model, max_wait_s=0.0, cache_size=0)
+        _stall_single_queries(service, started, release)
+
+        def poisoned(*_args, **_kwargs):
+            raise ZeroDivisionError("telemetry exploded")
+
+        service.telemetry.record_batch = poisoned
+        victim = service.submit(0, 10)
+        assert started.wait(10)
+        queued = [service.submit(seed, 10) for seed in (1, 2)]
+        release.set()
+        for future in (victim, *queued):
+            with pytest.raises(RuntimeError, match="crashed"):
+                future.result(timeout=10)
+        assert service.close(timeout=10) is True
+
+    def test_close_timeout_fails_pending_futures_and_reports(self, small_sbm):
+        """close(timeout) with a wedged dispatcher used to return as if
+        shutdown succeeded, leaving queued futures hanging.  Now it
+        fails them and returns False; a later close() re-joins."""
+        model = _model(small_sbm)
+        started, release = threading.Event(), threading.Event()
+        service = ClusterService(model, max_wait_s=0.0, cache_size=0)
+        _stall_single_queries(service, started, release)
+        in_flight = service.submit(0, 10)
+        assert started.wait(10)
+        stuck = [service.submit(seed, 10) for seed in (1, 2)]
+        assert service.close(timeout=0.1) is False
+        for future in stuck:
+            with pytest.raises(RuntimeError, match="closed before"):
+                future.result(timeout=10)
+        release.set()
+        # The request the dispatcher was already serving still completes,
+        # and the re-joined close reports a clean exit.
+        assert len(in_flight.result(timeout=10)) == 10
+        assert service.close(timeout=10) is True
+
+    def test_update_timeout_is_typed_and_marker_still_lands(self, small_sbm):
+        """apply_update hitting its timeout raises UpdateTimeout but the
+        service stays consistent: the marker lands in dispatch order,
+        post-timeout submissions are answered by the refreshed model,
+        and update telemetry is recorded when the marker resolves."""
+        config = LacaConfig(k=16)
+        model = LACA(config).fit(small_sbm)
+        started, release = threading.Event(), threading.Event()
+        service = ClusterService(model, max_wait_s=0.0, cache_size=64)
+        try:
+            _stall_single_queries(service, started, release)
+            blocker = service.submit(0, 20)
+            assert started.wait(10)
+            with pytest.raises(UpdateTimeout) as excinfo:
+                service.apply_update(
+                    GraphDelta(add_edges=[(3, 77)]), timeout=0.05
+                )
+            # Post-timeout state is already the new epoch; submissions
+            # are keyed there and queue behind the marker.
+            assert service.epoch == 1
+            later = service.submit(3, 20)
+            release.set()
+            promoted, invalidated = excinfo.value.pending.result(timeout=30)
+            assert promoted >= 0 and invalidated >= 0
+            assert len(blocker.result(timeout=30)) == 20
+            np.testing.assert_array_equal(
+                later.result(timeout=30),
+                LACA(config).fit(service.store.head).cluster(3, 20),
+            )
+            deadline = time.perf_counter() + 10
+            while (
+                service.stats()["updates"] == 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)  # telemetry rides the marker's callback
+            assert service.stats()["updates"] == 1
+        finally:
+            release.set()
+            service.close(timeout=10)
+
+    def test_stats_consistent_under_update_storm(self, small_sbm):
+        """stats() reads epoch and cache under the close lock: hammered
+        from many threads while updates advance epochs, every snapshot
+        must be well-formed and its epoch monotone per observer."""
+        model = LACA(LacaConfig(k=16)).fit(small_sbm)
+        problems: list[str] = []
+        stop = threading.Event()
+        with ClusterService(model, cache_size=64) as service:
+            def observer():
+                last_epoch = -1
+                while not stop.is_set():
+                    snapshot = service.stats()
+                    if snapshot["epoch"] < last_epoch:
+                        problems.append("epoch went backwards")
+                    last_epoch = snapshot["epoch"]
+                    if snapshot["cache"] is None:
+                        problems.append("cache stats vanished")
+
+            threads = [threading.Thread(target=observer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                for step in range(5):
+                    service.cluster(step, 15)
+                    absent = set(small_sbm.neighbors(step))
+                    target = next(
+                        v
+                        for v in range(small_sbm.n - 1, 0, -1)
+                        if v not in absent and v != step
+                    )
+                    service.apply_update(
+                        GraphDelta(add_edges=[(step, target)])
+                    )
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+            assert not problems
+            assert service.stats()["epoch"] == 5

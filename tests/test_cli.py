@@ -130,6 +130,35 @@ class TestServeCLI:
             (0, 10), (7, 15),
         ]
 
+    def test_serve_with_worker_pool_matches_in_process(
+        self, small_sbm, tmp_path, capsys
+    ):
+        """--workers N routes through PoolClusterService; members must be
+        identical to the single-process service and the pool knobs reach
+        the stats line."""
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 10\n7 15\n")
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--queries", str(queries)])
+        assert code == 0
+        inproc = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--queries", str(queries),
+                         "--workers", "2", "--max-pending", "128",
+                         "--deadline-ms", "60000", "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        pooled = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [r["members"] for r in pooled] == [r["members"] for r in inproc]
+        stats = json.loads(captured.err.strip().splitlines()[-1])
+        assert stats["workers"] == 2
+        assert stats["max_pending"] == 128
+        assert stats["shed"] == 0 and stats["deadline_misses"] == 0
+
     def test_serve_round_trips_saved_model(self, small_sbm, tmp_path, capsys):
         graph_path = save_graph(small_sbm, tmp_path / "graph")
         model_path = tmp_path / "model.npz"
