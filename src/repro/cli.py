@@ -34,6 +34,13 @@ Fan the same queries out to a process pool over a shared-memory graph
     python -m repro serve --dataset cora --workers 4 --max-pending 4096 \
         --deadline-ms 500 --stats
 
+Observe a serving run: Prometheus-style ``/metrics`` plus JSON
+``/stats`` on a localhost sidecar, and JSONL request traces::
+
+    python -m repro serve --dataset cora --metrics-port 9100 \
+        --trace-log traces.jsonl --stats
+    curl -s localhost:9100/metrics | grep laca_stage_seconds
+
 Apply a stream of graph deltas (one JSON object per line) to a saved
 graph, producing the next epoch-stamped snapshot — optionally carrying a
 fitted model along incrementally instead of refitting::
@@ -249,6 +256,7 @@ def _read_queries(source, default_size, graph):
 
 def _cmd_serve(args) -> int:
     from .core.pipeline import LACA
+    from .obs import MetricsServer, TraceLog
     from .serving import (
         ClusterService,
         PoolClusterService,
@@ -283,6 +291,12 @@ def _cmd_serve(args) -> int:
         print("no queries", file=sys.stderr)
         return 0
 
+    # The service does not own the trace log (several services could
+    # share one), so the CLI closes it after the service drains.
+    trace_log = None
+    if args.trace_log:
+        trace_log = TraceLog(args.trace_log, sample_rate=args.trace_sample)
+
     if args.workers > 0:
         service_ctx = PoolClusterService(
             model,
@@ -294,6 +308,7 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms / 1000.0,
             cache_size=args.cache_size,
+            trace_log=trace_log,
         )
     else:
         service_ctx = ClusterService(
@@ -301,26 +316,52 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms / 1000.0,
             cache_size=args.cache_size,
+            trace_log=trace_log,
         )
-    with service_ctx as service:
-        # Submit everything up front so concurrent queries coalesce into
-        # blocks, then stream results back in input order.
-        submitted = [
-            (seed, size, time.perf_counter(), service.submit(seed, size))
-            for seed, size in pairs
-        ]
-        for seed, size, submitted_at, future in submitted:
-            cluster = future.result()
-            latency = time.perf_counter() - submitted_at
-            print(json.dumps({
-                "seed": int(seed),
-                "size": int(size),
-                "members": [int(node) for node in cluster],
-                "conductance": conductance(graph, cluster),
-                "latency_s": round(latency, 6),
-            }), flush=True)
-        if args.stats:
-            print(json.dumps(service.stats()), file=sys.stderr)
+    metrics_server = None
+    try:
+        with service_ctx as service:
+            if args.metrics_port is not None:
+                metrics_server = MetricsServer(
+                    service.telemetry.registry,
+                    port=args.metrics_port,
+                    stats_fn=service.stats,
+                )
+                metrics_server.start()
+                # Printed to stderr so --metrics-port 0 (ephemeral) is
+                # scriptable: parse this line to find the bound port.
+                print(
+                    f"metrics server listening on {metrics_server.url}",
+                    file=sys.stderr,
+                )
+            # Submit everything up front so concurrent queries coalesce
+            # into blocks, then stream results back in input order.
+            submitted = [
+                (seed, size, time.perf_counter(), service.submit(seed, size))
+                for seed, size in pairs
+            ]
+            for seed, size, submitted_at, future in submitted:
+                cluster = future.result()
+                latency = time.perf_counter() - submitted_at
+                print(json.dumps({
+                    "seed": int(seed),
+                    "size": int(size),
+                    "members": [int(node) for node in cluster],
+                    "conductance": conductance(graph, cluster),
+                    "latency_s": round(latency, 6),
+                    "trace_id": getattr(future, "trace_id", None),
+                }), flush=True)
+            if args.stats:
+                print(json.dumps(service.stats()), file=sys.stderr)
+            if args.linger_s > 0:
+                # Keep the service (and /metrics) up after the drain so
+                # an external scraper can collect final counters.
+                time.sleep(args.linger_s)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+        if trace_log is not None:
+            trace_log.close()
     return 0
 
 
@@ -484,6 +525,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--stats", action="store_true",
                        help="print service telemetry to stderr at the end")
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose /metrics (Prometheus text) and /stats (JSON) on "
+        "127.0.0.1:PORT (0 picks an ephemeral port, printed to stderr)",
+    )
+    serve.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append JSONL trace events (request spans, epoch advances, "
+        "worker deaths) to PATH",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of request spans written to --trace-log "
+        "(lifecycle events are always written; default: 1.0)",
+    )
+    serve.add_argument(
+        "--linger-s", type=float, default=0.0, metavar="S",
+        help="keep the service and metrics endpoint alive S seconds "
+        "after the last answer (for external scrapers)",
+    )
 
     update = commands.add_parser(
         "update", help="apply a JSONL delta stream to a saved graph"

@@ -25,7 +25,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult, full_scatter_cost, selective_scatter_is_cheaper
+from .base import (
+    DiffusionResult,
+    full_scatter_cost,
+    note_kernel,
+    selective_scatter_is_cheaper,
+)
 from .workspace import (
     DiffusionWorkspace,
     collect_touched,
@@ -74,6 +79,7 @@ def adaptive_diffuse(
     iterations = 0
     greedy_steps = 0
     nongreedy_steps = 0
+    frontier_peak = 0
 
     n = graph.n
 
@@ -129,6 +135,8 @@ def adaptive_diffuse(
             # Non-greedy: convert and scatter every residual at once.
             iterations += 1
             nongreedy_steps += 1
+            if n_nonzero > frontier_peak:
+                frontier_peak = n_nonzero
             c_tot += vol_r
             work += vol_r
             if support_set is None:
@@ -139,6 +147,7 @@ def adaptive_diffuse(
                 vol_r, full_scatter_cost(graph.adjacency.nnz, n)
             ):
                 # r is dense here: one dense divide beats staging gathers.
+                note_kernel("full")
                 scratch = None if workspace is None else workspace.scratch
                 dense = graph.adjacency.dot(np.divide(r, degrees, out=scratch))
                 np.multiply(dense, alpha, out=r)
@@ -167,6 +176,8 @@ def adaptive_diffuse(
                 break
             iterations += 1
             greedy_steps += 1
+            if n_above > frontier_peak:
+                frontier_peak = n_above
             if support is None:
                 support = support_set[above_mask]
             batch = r[support]  # fancy indexing copies — the batch γ
@@ -201,4 +212,5 @@ def adaptive_diffuse(
         work=work,
         residual_history=history,
         touched=collect_touched(slot),
+        frontier_peak=frontier_peak,
     )

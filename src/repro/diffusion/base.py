@@ -14,6 +14,7 @@ node-at-a-time (push), batched above-threshold (greedy), everything-at-once
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,9 @@ __all__ = [
     "selective_scatter_is_cheaper",
     "full_scatter_cost",
     "SELECTIVE_VOLUME_FRACTION",
+    "begin_kernel_tally",
+    "end_kernel_tally",
+    "note_kernel",
 ]
 
 #: Fraction of the full mat-vec cost below which the volume-proportional
@@ -61,6 +65,48 @@ def selective_scatter_is_cheaper(support_volume: float, full_cost: float) -> boo
     return support_volume <= SELECTIVE_VOLUME_FRACTION * full_cost
 
 
+# --------------------------------------------------------------------------
+# Kernel-selection tally (observability, PR 7).
+#
+# The scatter kernels are bitwise-identical, so *which one the volume
+# switch picked* is invisible in results — yet it is the single best
+# signal that the paper's locality claim holds on production traffic
+# (local queries should land on "gather"/"csc", not "full").  Engines
+# report their choice through a thread-local tally that costs one
+# getattr + None check per scatter when nobody is listening, keeping the
+# disabled overhead far below the serving layer's <3% tracing budget.
+# Thread-local (not global) because the pool's workers and the head's
+# dispatcher tally concurrently into different registries.
+
+_TALLY = threading.local()
+
+
+def begin_kernel_tally() -> dict:
+    """Start counting kernel selections on this thread; returns the dict.
+
+    The returned mapping ``{kernel_name: count}`` is filled in place by
+    :func:`note_kernel` until :func:`end_kernel_tally`.  Nesting is not
+    supported: a second ``begin`` replaces the first.
+    """
+    counts: dict[str, int] = {}
+    _TALLY.counts = counts
+    return counts
+
+
+def end_kernel_tally() -> dict:
+    """Stop counting and return the tally (empty if none was active)."""
+    counts = getattr(_TALLY, "counts", None)
+    _TALLY.counts = None
+    return counts if counts is not None else {}
+
+
+def note_kernel(kind: str) -> None:
+    """Record one kernel selection if a tally is active on this thread."""
+    counts = getattr(_TALLY, "counts", None)
+    if counts is not None:
+        counts[kind] = counts.get(kind, 0) + 1
+
+
 @dataclass
 class DiffusionResult:
     """Outcome of a diffusion run.
@@ -85,6 +131,10 @@ class DiffusionResult:
         of ``supp(q) ∪ supp(r)``) when the engine tracked its frontier;
         ``None`` when it did not (the reference kernels).  Lets callers
         recover the support in O(touched) instead of a length-``n`` scan.
+    frontier_peak:
+        Largest active frontier (rows diffused in one iteration, or
+        peak queue length for push) seen during the run; 0 when the
+        engine does not track it (the reference kernels, block paths).
     """
 
     q: np.ndarray
@@ -95,6 +145,7 @@ class DiffusionResult:
     work: float = 0.0
     residual_history: list[float] = field(default_factory=list)
     touched: np.ndarray | None = None
+    frontier_peak: int = 0
 
     @property
     def support(self) -> np.ndarray:

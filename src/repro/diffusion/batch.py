@@ -37,6 +37,7 @@ from ..graphs.graph import AttributedGraph
 from .base import (
     DiffusionResult,
     full_scatter_cost,
+    note_kernel,
     selective_scatter_is_cheaper,
 )
 from .push import push_diffuse
@@ -256,6 +257,7 @@ def _block_diffuse(
 
         if saturated:
             # Every residual converts (the non-greedy regime): Γ = R.
+            note_kernel("block_dense")
             work[live_cols] += volume
             Q += (1.0 - alpha) * R
             scaled = R / dcol
@@ -267,6 +269,7 @@ def _block_diffuse(
             # Local regime: route the scatter through a sparse Γ so the
             # mat-mat costs vol(supp(Γ)), not nnz(A)·B (Eq. 16, batched
             # analog of the selective scatter).
+            note_kernel("block_sparse")
             rows, cols = np.nonzero(sel)
             data = R[rows, cols]
             if mode != "adaptive":
@@ -281,6 +284,7 @@ def _block_diffuse(
             ).tocoo()
             R[scatter.row, scatter.col] += alpha * scatter.data
         else:
+            note_kernel("block_dense")
             Gamma = np.where(sel, R, 0.0)
             if mode != "adaptive":
                 work[active] += sel_vol

@@ -79,6 +79,7 @@ def greedy_diffuse(
     history: list[float] = []
     work = 0.0
     iterations = 0
+    frontier_peak = 0
 
     # ``candidates`` is the frontier: every node whose residual changed
     # since its last threshold check.  ``None`` flags the dense regime —
@@ -103,6 +104,8 @@ def greedy_diffuse(
         if support.size == 0:
             break
         iterations += 1
+        if support.size > frontier_peak:
+            frontier_peak = int(support.size)
         values = r[support]  # fancy indexing copies — the batch γ
         volume = float(degrees[support].sum())
         work += volume
@@ -129,4 +132,5 @@ def greedy_diffuse(
         work=work,
         residual_history=history,
         touched=collect_touched(slot),
+        frontier_peak=frontier_peak,
     )

@@ -21,7 +21,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult, full_scatter_cost, selective_scatter_is_cheaper
+from .base import (
+    DiffusionResult,
+    full_scatter_cost,
+    note_kernel,
+    selective_scatter_is_cheaper,
+)
 from .workspace import (
     DiffusionWorkspace,
     collect_touched,
@@ -55,6 +60,7 @@ def nongreedy_diffuse(
     history: list[float] = []
     work = 0.0
     iterations = 0
+    frontier_peak = 0
 
     n = graph.n
 
@@ -75,6 +81,8 @@ def nongreedy_diffuse(
                 break
             iterations += 1
             nonzero = np.flatnonzero(r)
+            if nonzero.size > frontier_peak:
+                frontier_peak = int(nonzero.size)
             volume = float(degrees[nonzero].sum())
             work += volume
             q += (1.0 - alpha) * r
@@ -94,6 +102,7 @@ def nongreedy_diffuse(
                     slot.note_all()
             else:
                 # r is dense here: one dense divide beats staging gathers.
+                note_kernel("full")
                 scratch = None if workspace is None else workspace.scratch
                 dense = graph.adjacency.dot(np.divide(r, degrees, out=scratch))
                 np.multiply(dense, alpha, out=r)
@@ -107,6 +116,8 @@ def nongreedy_diffuse(
             iterations += 1
             nonzero_mask = values != 0.0
             nonzero = support_set[nonzero_mask]
+            if nonzero.size > frontier_peak:
+                frontier_peak = int(nonzero.size)
             volume = float(degrees[nonzero].sum())
             work += volume
             q[support_set] += (1.0 - alpha) * values
@@ -133,4 +144,5 @@ def nongreedy_diffuse(
         work=work,
         residual_history=history,
         touched=collect_touched(slot),
+        frontier_peak=frontier_peak,
     )

@@ -27,7 +27,7 @@ from collections import deque
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import DiffusionResult
+from .base import DiffusionResult, note_kernel
 from .workspace import DiffusionWorkspace, collect_touched, engine_setup
 
 __all__ = ["push_diffuse"]
@@ -63,8 +63,13 @@ def push_diffuse(
         in_queue = workspace.in_queue  # all-False between runs (self-cleaning)
     in_queue[initial] = True
 
+    # One tally mark per run (not per push): the queue loop *is* the
+    # kernel; per-push marks would swamp the per-scatter counts of the
+    # batched engines it is compared against.
+    note_kernel("push")
     pushes = 0
     work = 0.0
+    frontier_peak = len(queue)
     while queue:
         if pushes >= max_pushes:
             # Leave the workspace flags clean before surfacing the error.
@@ -89,6 +94,8 @@ def push_diffuse(
         ]
         queue.extend(admit.tolist())
         in_queue[admit] = True
+        if len(queue) > frontier_peak:
+            frontier_peak = len(queue)
 
     return DiffusionResult(
         q=q,
@@ -98,4 +105,5 @@ def push_diffuse(
         work=work,
         residual_history=[],
         touched=collect_touched(slot),
+        frontier_peak=frontier_peak,
     )

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import AttributedGraph
-from .base import full_scatter_cost, selective_scatter_is_cheaper
+from .base import full_scatter_cost, note_kernel, selective_scatter_is_cheaper
 
 __all__ = [
     "DiffusionWorkspace",
@@ -272,6 +272,7 @@ def scatter_step(
     n = graph.n
     adjacency = graph.adjacency
     if not selective_scatter_is_cheaper(volume, full_scatter_cost(adjacency.nnz, n)):
+        note_kernel("full")
         temporary = staging is None
         if temporary:
             staging = np.zeros(n)
@@ -282,12 +283,14 @@ def scatter_step(
             staging[rows] = 0.0
         return None, None, dense
     if volume * _UNIQUE_FRACTION <= n:
+        note_kernel("gather")
         cols, contrib = graph.transition_gather(vals, rows)
         touched, inverse = np.unique(cols, return_inverse=True)
         return touched, np.bincount(inverse, weights=contrib), None
     # Mid regime: slice the support rows (C) and run one CSC mat-vec over
     # them — columns are visited in ascending support order, each row in
     # CSR order, exactly the reference loop's accumulation order.
+    note_kernel("csc")
     scaled = vals / graph.degrees[rows]
     dense = adjacency[rows].T.dot(scaled)
     return None, None, dense

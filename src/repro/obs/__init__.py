@@ -1,0 +1,33 @@
+"""Observability core: metrics registry, request tracing, exposition.
+
+`repro.obs` is deliberately dependency-free (stdlib only) and knows
+nothing about graphs or diffusion — the serving layer wires it in.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    VOLUME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.obs.tracing import Span, TraceLog, new_trace_id
+from repro.obs.exposition import MetricsServer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "LATENCY_BUCKETS",
+    "VOLUME_BUCKETS",
+    "COUNT_BUCKETS",
+    "Span",
+    "TraceLog",
+    "new_trace_id",
+    "MetricsServer",
+]

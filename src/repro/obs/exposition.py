@@ -1,0 +1,107 @@
+"""HTTP exposition sidecar: ``/metrics`` (Prometheus text) + ``/stats``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` on its own daemon
+thread — the first network surface in the repo, deliberately tiny so
+the future async gateway can replace it without ceremony.  Handlers
+only *read*: ``/metrics`` renders the registry, ``/stats`` calls an
+optional ``stats_fn`` (the service's ``stats()``) and serializes it.
+Scrapes therefore contend with the hot path only for the per-metric
+locks, never for the service queue.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``/metrics`` and ``/stats`` for a registry on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` to learn which (tests and the CLI smoke script do).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        stats_fn=None,
+    ) -> None:
+        self.registry = registry
+        self.stats_fn = stats_fn
+        self._httpd = ThreadingHTTPServer((host, int(port)), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-http",
+            daemon=True,
+        )
+        self._started = False
+
+    def start(self) -> "MetricsServer":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._started:
+            self._started = False
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _make_handler(server: MetricsServer):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                body = server.registry.to_prometheus_text().encode("utf-8")
+                self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/stats":
+                if server.stats_fn is not None:
+                    payload = server.stats_fn()
+                else:
+                    payload = server.registry.snapshot()
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                self._reply(200, "application/json", body)
+            elif path in ("/", "/healthz"):
+                self._reply(200, "text/plain", b"ok\n")
+            else:
+                self._reply(404, "text/plain", b"not found\n")
+
+        def _reply(self, code: int, content_type: str, body: bytes) -> None:
+            try:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+        def log_message(self, fmt, *args) -> None:
+            pass  # scrapes are frequent; stay silent
+
+    return Handler

@@ -181,6 +181,41 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def register_metrics(self, registry) -> None:
+        """Expose cache state on a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Installs a snapshot hook that *pulls* point-in-time gauges at
+        scrape time instead of pushing on every get/put — the cache's
+        hot path stays untouched.  Lock order is registry-hook →
+        ``self._lock``, never the reverse, so scrapes cannot deadlock
+        against serving.
+        """
+        entries = registry.gauge(
+            "laca_cache_entries", "Live result-cache entries"
+        )
+        capacity = registry.gauge(
+            "laca_cache_capacity", "Result-cache LRU capacity"
+        )
+        hits = registry.gauge("laca_cache_hits", "Lifetime cache hits")
+        misses = registry.gauge("laca_cache_misses", "Lifetime cache misses")
+        evictions = registry.gauge(
+            "laca_cache_evictions", "Lifetime LRU evictions"
+        )
+        hit_rate = registry.gauge(
+            "laca_cache_hit_rate", "Fraction of lookups answered from cache"
+        )
+
+        def _pull() -> None:
+            with self._lock:
+                entries.set(len(self._entries))
+                capacity.set(self.capacity)
+                hits.set(self.hits)
+                misses.set(self.misses)
+                evictions.set(self.evictions)
+                hit_rate.set(self._hit_rate_locked())
+
+        registry.add_hook(_pull)
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups answered from cache (0.0 before any).

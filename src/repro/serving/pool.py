@@ -50,8 +50,10 @@ import numpy as np
 
 from ..core.laca import top_k_cluster
 from ..core.pipeline import LACA
+from ..diffusion.base import begin_kernel_tally, end_kernel_tally
 from ..graphs.shm import attach_snapshot, publish_snapshot
 from ..graphs.store import GraphStore
+from ..obs.metrics import MetricsRegistry
 from .service import (
     ClusterService,
     _batch_support,
@@ -59,6 +61,7 @@ from .service import (
     _Request,
     _result_support,
 )
+from .telemetry import make_engine_metrics
 
 __all__ = ["PoolClusterService", "PoolSaturated", "DeadlineExceeded"]
 
@@ -90,12 +93,14 @@ def _portable_error(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _compute_block(model, workspace, seeds, sizes):
+def _compute_block(model, workspace, seeds, sizes, metrics=None):
     """Worker-side mirror of ``ClusterService._answer_block``'s compute.
 
     Same fast paths as the in-process dispatcher (sequential workspace
     for singletons, block engine otherwise), so pool answers stay
-    bitwise identical and path-independent.
+    bitwise identical and path-independent.  ``metrics`` is an optional
+    engine-introspection namespace (:func:`make_engine_metrics`) fed the
+    per-query iteration / frontier / touched-volume figures.
     """
     start = time.perf_counter()
     if len(seeds) == 1:
@@ -107,11 +112,29 @@ def _compute_block(model, workspace, seeds, sizes):
             )
         ]
         supports = [_result_support(result)]
+        iteration_counts = [result.rwr.iterations + result.bdd.iterations]
+        frontier_peaks = [max(result.rwr.frontier_peak, result.bdd.frontier_peak)]
     else:
         result = model.scores_batch(seeds)
         clusters = [result.cluster(b, sizes[b]) for b in range(len(seeds))]
         supports = [_batch_support(result, b) for b in range(len(seeds))]
-    return clusters, supports, time.perf_counter() - start
+        bdd = result.bdd
+        iteration_counts = [
+            int(result.rwr.column_iterations[b])
+            + (int(bdd.column_iterations[b]) if bdd is not None else 0)
+            for b in range(len(seeds))
+        ]
+        frontier_peaks = [0] * len(seeds)
+    engine_seconds = time.perf_counter() - start
+    if metrics is not None:
+        degrees = model._require_fit().degrees
+        for b, support in enumerate(supports):
+            metrics.query_iterations.observe(iteration_counts[b])
+            if frontier_peaks[b]:
+                metrics.frontier_peak.observe(frontier_peaks[b])
+            metrics.touched_nodes.observe(int(support.size))
+            metrics.touched_volume.observe(float(degrees[support].sum()))
+    return clusters, supports, engine_seconds
 
 
 def _hydrate(fit_state: dict, attached) -> LACA:
@@ -138,10 +161,18 @@ def _worker_main(worker_id, manifest, fit_state, tasks, results) -> None:
       ``("stop",)`` — exit after the queue drained to here.
     Messages out: ``("result", worker_id, block_id, payload, error)`` and
     ``("reload-ack", worker_id, generation, error)``.
+
+    Result payloads are ``(clusters, supports, engine_seconds,
+    metrics_delta)``: the worker observes engine introspection into a
+    private registry and drains it per block, so its counters ride the
+    existing result queue home and merge into the head registry —
+    no extra IPC channel, no shared locks.
     """
     attached = attach_snapshot(manifest)
     model = _hydrate(fit_state, attached)
     workspace = model.make_workspace()
+    registry = MetricsRegistry("laca")
+    engine_metrics = make_engine_metrics(registry)
     while True:
         message = tasks.get()
         kind = message[0]
@@ -163,7 +194,16 @@ def _worker_main(worker_id, manifest, fit_state, tasks, results) -> None:
             continue
         _, block_id, seeds, sizes = message
         try:
-            payload = _compute_block(model, workspace, seeds, sizes)
+            tally = begin_kernel_tally()
+            try:
+                clusters, supports, engine_seconds = _compute_block(
+                    model, workspace, seeds, sizes, engine_metrics
+                )
+            finally:
+                tally = end_kernel_tally()
+            for kind, count in tally.items():
+                engine_metrics.kernel_selections.labels(kind).inc(count)
+            payload = (clusters, supports, engine_seconds, registry.drain())
             results.put(("result", worker_id, block_id, payload, None))
         except BaseException as exc:  # noqa: BLE001 — must always answer
             results.put(
@@ -290,6 +330,25 @@ class PoolClusterService(ClusterService):
         )
         self._collector.start()
 
+        registry = self.telemetry.registry
+        pending_gauge = registry.gauge(
+            "laca_pending_requests", "Admitted-but-unresolved requests"
+        )
+        alive_gauge = registry.gauge(
+            "laca_workers_alive", "Live pool worker processes"
+        )
+        inflight_gauge = registry.gauge(
+            "laca_inflight_blocks", "Blocks dispatched but not yet resolved"
+        )
+
+        def _pool_gauges() -> None:
+            with self._pool_lock:
+                pending_gauge.set(self._pending)
+                alive_gauge.set(sum(1 for dead in self._worker_dead if not dead))
+                inflight_gauge.set(len(self._inflight))
+
+        registry.add_hook(_pool_gauges)
+
     @staticmethod
     def _worker_fit_state(model: LACA) -> dict:
         """Hydration state shipped to workers: no maintenance arrays
@@ -331,7 +390,7 @@ class PoolClusterService(ClusterService):
             error = RuntimeError("service is failed: an update did not land")
             error.__cause__ = self._failed
             for request in block:
-                self.telemetry.record_error()
+                self.telemetry.record_error("failed")
                 _fail_future(request.future, error)
             return
         now = time.perf_counter()
@@ -339,6 +398,10 @@ class PoolClusterService(ClusterService):
         for request in block:
             if request.deadline is not None and now > request.deadline:
                 self.telemetry.record_deadline_miss()
+                if request.span is not None and self.trace_log is not None:
+                    request.span.error = "deadline_exceeded"
+                    request.span.mark("resolved", now)
+                    self.trace_log.record_span(request.span)
                 _fail_future(
                     request.future,
                     DeadlineExceeded(
@@ -347,6 +410,8 @@ class PoolClusterService(ClusterService):
                     ),
                 )
             else:
+                if request.span is not None:
+                    request.span.mark("dispatched", now)
                 live.append(request)
         if not live:
             return
@@ -368,7 +433,7 @@ class PoolClusterService(ClusterService):
                 if self._failed is None:
                     self._failed = error
             for request in live:
-                self.telemetry.record_error()
+                self.telemetry.record_error("worker")
                 _fail_future(request.future, error)
             return
         try:
@@ -388,7 +453,7 @@ class PoolClusterService(ClusterService):
             error = RuntimeError(f"dispatch to pool worker {worker_id} failed")
             error.__cause__ = exc
             for request in live:
-                self.telemetry.record_error()
+                self.telemetry.record_error("dispatch")
                 _fail_future(request.future, error)
 
     # ------------------------------------------------------------------
@@ -444,12 +509,15 @@ class PoolClusterService(ClusterService):
         _, block = entry
         if error is not None:
             for request in block:
-                self.telemetry.record_error()
+                self.telemetry.record_error("engine")
                 _fail_future(request.future, error)
             return
-        clusters, supports, engine_seconds = payload
-        self.telemetry.record_batch(len(block), engine_seconds)
-        self.telemetry.record_worker_batch(worker_id, len(block))
+        clusters, supports, engine_seconds, metrics_delta = payload
+        # One combined telemetry call per block: the per-worker ledger
+        # folds into the same lock acquisition as the batch counters
+        # (this used to be two separate round-trips).
+        self.telemetry.record_batch(len(block), engine_seconds, worker_id=worker_id)
+        self.telemetry.merge_engine_delta(metrics_delta)
         now = time.perf_counter()
         for request, cluster, support in zip(block, clusters, supports):
             cluster = np.asarray(cluster)
@@ -459,7 +527,17 @@ class PoolClusterService(ClusterService):
                 cluster.setflags(write=False)
             if not request.future.set_running_or_notify_cancel():
                 continue  # cancelled while queued; answer stays cached
-            self.telemetry.record_latency(now - request.enqueued_at)
+            span = request.span
+            if span is not None:
+                span.worker_id = worker_id
+                span.engine_s = engine_seconds
+                span.batch_size = len(block)
+                span.mark("resolved", now)
+                self.telemetry.record_span(span)
+                if self.trace_log is not None:
+                    self.trace_log.record_span(span)
+            else:
+                self.telemetry.record_latency(now - request.enqueued_at)
             request.future.set_result(cluster)
 
     def _reap_dead_workers(self) -> None:
@@ -485,9 +563,16 @@ class PoolClusterService(ClusterService):
                 f"pool worker {worker_id} died "
                 f"(exit code {proc.exitcode}); its in-flight requests failed"
             )
+            if self.trace_log is not None:
+                self.trace_log.record_event(
+                    "worker_death",
+                    worker_id=worker_id,
+                    exit_code=proc.exitcode,
+                    inflight_blocks_failed=len(lost),
+                )
             for _, requests in lost:
                 for request in requests:
-                    self.telemetry.record_error()
+                    self.telemetry.record_error("worker")
                     _fail_future(request.future, error)
 
     # ------------------------------------------------------------------
@@ -596,7 +681,7 @@ class PoolClusterService(ClusterService):
             )
             for _, requests in leftovers:
                 for request in requests:
-                    self.telemetry.record_error()
+                    self.telemetry.record_error("closed")
                     _fail_future(request.future, error)
         self._shared.close()
         return clean

@@ -25,7 +25,9 @@ import numpy as np
 
 from ..core.laca import top_k_cluster
 from ..core.pipeline import LACA
+from ..diffusion.base import begin_kernel_tally, end_kernel_tally
 from ..graphs.store import GraphDelta, GraphStore
+from ..obs.tracing import Span, TraceLog
 from .cache import ResultCache, config_digest, query_key
 from .telemetry import ServiceTelemetry
 
@@ -85,6 +87,9 @@ class _Request:
     #: Stamped by admission control (:class:`PoolClusterService`);
     #: the in-process service never sets one.
     deadline: float | None = None
+    #: Per-request trace span (stage timestamps + trace id); created at
+    #: submission, resolved alongside the future.
+    span: Span | None = None
 
 
 @dataclass
@@ -162,6 +167,11 @@ class ClusterService:
         with other consumers); when omitted, one is created lazily on
         the first update.  A store whose head is ahead of the model
         triggers a :meth:`LACA.refresh` at construction.
+    trace_log:
+        Optional :class:`~repro.obs.tracing.TraceLog`; resolved request
+        spans are sampled into it, and lifecycle events (epoch advances,
+        worker deaths) always log.  The service does not own it — the
+        caller closes it after :meth:`close`.
 
     Use as a context manager, or call :meth:`close` when done.
     """
@@ -175,6 +185,7 @@ class ClusterService:
         max_wait_s: float = 0.002,
         cache_size: int = 1024,
         store: GraphStore | None = None,
+        trace_log: TraceLog | None = None,
     ) -> None:
         graph = model._require_fit()
         if max_batch < 1:
@@ -193,6 +204,14 @@ class ClusterService:
             ResultCache(cache_size) if cache_size else None
         )
         self.telemetry = ServiceTelemetry()
+        self.trace_log = trace_log
+        registry = self.telemetry.registry
+        if self.cache is not None:
+            self.cache.register_metrics(registry)
+        epoch_gauge = registry.gauge(
+            "laca_epoch", "Graph epoch new submissions are answered at"
+        )
+        registry.add_hook(lambda: epoch_gauge.set(self._epoch))
         self._store = store
         self._epoch = graph.epoch
         self._update_lock = threading.Lock()
@@ -249,9 +268,25 @@ class ClusterService:
                 if cached is not None:
                     self.telemetry.record_cache_hit()
                     future: Future = Future()
+                    span = Span(seed=seed, size=size)
+                    span.path = "cache"
+                    at = time.perf_counter()
+                    span.mark("admitted", at)
+                    span.mark("resolved", at)
+                    # Trace ids ride the future itself so callers (the
+                    # serve CLI) can surface them without a side channel.
+                    future.trace_id = span.trace_id
                     future.set_result(cached)
+                    if self.trace_log is not None:
+                        self.trace_log.record_span(span)
                     return future
             request = _Request(seed=seed, size=size, key=key)
+            span = Span(seed=seed, size=size)
+            span.path = "engine"
+            span.mark("admitted", request.enqueued_at)
+            span.mark("enqueued", request.enqueued_at)
+            request.span = span
+            request.future.trace_id = span.trace_id
             self._admit(request)
             self._queue.put(request)
         return request.future
@@ -452,7 +487,7 @@ class ClusterService:
             if item is _SHUTDOWN:
                 saw_shutdown = True
                 continue
-            self.telemetry.record_error()
+            self.telemetry.record_error("closed")
             _fail_future(item.future, exc)
         if saw_shutdown:
             self._queue.put(_SHUTDOWN)
@@ -513,7 +548,7 @@ class ClusterService:
             "dispatcher crashed while serving; the service is failed"
         )
         error.__cause__ = exc
-        self.telemetry.record_error()
+        self.telemetry.record_error("dispatcher")
         _fail_future(first.future, error)
         self._drain_queue(error)
 
@@ -594,7 +629,21 @@ class ClusterService:
             with self._close_lock:
                 self._failed = exc
             _fail_future(update.future, exc)
+            if self.trace_log is not None:
+                self.trace_log.record_event(
+                    "epoch_advance_failed",
+                    epoch=update.epoch,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             return
+        if self.trace_log is not None:
+            self.trace_log.record_event(
+                "epoch_advance",
+                epoch=head.epoch,
+                n=head.n,
+                entries_promoted=promoted,
+                entries_invalidated=invalidated,
+            )
         if update.future.set_running_or_notify_cancel():
             update.future.set_result((promoted, invalidated))
 
@@ -621,7 +670,7 @@ class ClusterService:
             error = RuntimeError("service is failed: an update did not land")
             error.__cause__ = self._failed
             for request in block:
-                self.telemetry.record_error()
+                self.telemetry.record_error("failed")
                 _fail_future(request.future, error)
             return
         try:
@@ -642,6 +691,10 @@ class ClusterService:
 
     def _answer_block(self, block: list[_Request]) -> None:
         start = time.perf_counter()
+        for request in block:
+            if request.span is not None:
+                request.span.mark("dispatched", start)
+        tally = begin_kernel_tally()
         try:
             if len(block) == 1:
                 request = block[0]
@@ -655,6 +708,10 @@ class ClusterService:
                     )
                 ]
                 supports = [_result_support(result)]
+                iteration_counts = [result.rwr.iterations + result.bdd.iterations]
+                frontier_peaks = [
+                    max(result.rwr.frontier_peak, result.bdd.frontier_peak)
+                ]
             else:
                 result = self.model.scores_batch([request.seed for request in block])
                 clusters = [
@@ -662,15 +719,37 @@ class ClusterService:
                     for b, request in enumerate(block)
                 ]
                 supports = [_batch_support(result, b) for b in range(len(block))]
+                bdd = result.bdd
+                iteration_counts = [
+                    int(result.rwr.column_iterations[b])
+                    + (int(bdd.column_iterations[b]) if bdd is not None else 0)
+                    for b in range(len(block))
+                ]
+                # The block engine's per-column frontiers are implicit in
+                # the shared mat-mat; it does not track peaks.
+                frontier_peaks = [0] * len(block)
         except Exception as exc:  # surface engine failures per-request
             for request in block:
-                self.telemetry.record_error()
+                self.telemetry.record_error("engine")
                 _fail_future(request.future, exc)
             return
+        finally:
+            tally = end_kernel_tally()
         engine_seconds = time.perf_counter() - start
         self.telemetry.record_batch(len(block), engine_seconds)
+        if tally:
+            self.telemetry.record_kernel_selections(tally)
+        degrees = self.model._require_fit().degrees
         now = time.perf_counter()
-        for request, cluster, support in zip(block, clusters, supports):
+        for b, (request, cluster, support) in enumerate(
+            zip(block, clusters, supports)
+        ):
+            self.telemetry.record_engine_introspection(
+                iteration_counts[b],
+                frontier_peaks[b],
+                support.size,
+                float(degrees[support].sum()),
+            )
             if self.cache is not None:
                 cluster = self.cache.put(request.key, cluster, support)
             else:
@@ -679,5 +758,14 @@ class ClusterService:
             # cancelled future raises and would kill the dispatcher.
             if not request.future.set_running_or_notify_cancel():
                 continue  # answer stays in the cache for the next asker
-            self.telemetry.record_latency(now - request.enqueued_at)
+            span = request.span
+            if span is not None:
+                span.engine_s = engine_seconds
+                span.batch_size = len(block)
+                span.mark("resolved", now)
+                self.telemetry.record_span(span)
+                if self.trace_log is not None:
+                    self.trace_log.record_span(span)
+            else:
+                self.telemetry.record_latency(now - request.enqueued_at)
             request.future.set_result(cluster)

@@ -1,0 +1,76 @@
+"""Tests for the /metrics + /stats HTTP sidecar."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry("laca")
+    registry.counter("laca_requests_total", "requests", ("path",)).labels(
+        "engine"
+    ).inc(7)
+    registry.histogram("laca_request_seconds", "latency").observe(0.01)
+    return registry
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_text_on_ephemeral_port(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            assert server.port != 0  # bound port is discoverable
+            status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert 'laca_requests_total{path="engine"} 7' in body
+        assert "laca_request_seconds_count 1" in body
+
+    def test_stats_uses_stats_fn_when_given(self, registry):
+        server = MetricsServer(
+            registry, stats_fn=lambda: {"requests": 7, "nested": {"ok": True}}
+        )
+        with server:
+            status, headers, body = _get(f"{server.url}/stats")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"requests": 7, "nested": {"ok": True}}
+
+    def test_stats_falls_back_to_registry_snapshot(self, registry):
+        with MetricsServer(registry) as server:
+            _, _, body = _get(f"{server.url}/stats")
+        snap = json.loads(body)
+        assert snap["laca_requests_total{path=engine}"] == 7.0
+        assert snap["laca_request_seconds"]["count"] == 1
+
+    def test_healthz_and_unknown_path(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+            assert status == 200 and body == "ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_scrape_runs_registry_hooks(self, registry):
+        depth = registry.gauge("laca_queue_depth", "live queue depth")
+        live = {"depth": 0}
+        registry.add_hook(lambda: depth.set(live["depth"]))
+        with MetricsServer(registry) as server:
+            live["depth"] = 13
+            _, _, body = _get(f"{server.url}/metrics")
+        assert "laca_queue_depth 13" in body
+
+    def test_close_then_start_again_not_required(self, registry):
+        server = MetricsServer(registry).start()
+        url = server.url
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(f"{url}/healthz")

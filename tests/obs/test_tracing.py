@@ -1,0 +1,176 @@
+"""Tests for request spans and the JSONL trace log."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.tracing import Span, TraceLog, new_trace_id
+
+
+class TestTraceIds:
+    def test_unique_and_ordered(self):
+        ids = [new_trace_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        # Same session prefix, strictly increasing sequence part.
+        prefixes = {trace_id.split("-")[0] for trace_id in ids}
+        assert len(prefixes) == 1
+        sequences = [int(trace_id.split("-")[1], 16) for trace_id in ids]
+        assert sequences == sorted(sequences)
+
+
+class TestSpan:
+    def test_marks_and_derived_durations(self):
+        span = Span(seed=3, size=10)
+        span.mark("admitted", 100.0)
+        span.mark("enqueued", 100.0)
+        span.mark("dispatched", 100.5)
+        span.engine_s = 0.3
+        span.mark("resolved", 101.0)
+        assert span.queue_wait_s == pytest.approx(0.5)
+        assert span.collect_s == pytest.approx(0.2)
+        assert span.total_s == pytest.approx(1.0)
+
+    def test_durations_none_until_both_endpoints(self):
+        span = Span()
+        assert span.queue_wait_s is None
+        assert span.collect_s is None
+        assert span.total_s is None
+        span.mark("enqueued", 1.0)
+        assert span.queue_wait_s is None
+
+    def test_collect_clamped_nonnegative(self):
+        """Engine seconds measured in another process can exceed the
+        locally observed dispatch→resolve gap; never report negative."""
+        span = Span()
+        span.mark("dispatched", 10.0)
+        span.engine_s = 5.0
+        span.mark("resolved", 10.1)
+        assert span.collect_s == 0.0
+
+    def test_mark_rejects_unknown_stage(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            Span().mark("teleported")
+
+    def test_to_event_fields(self):
+        span = Span(trace_id="t-1", seed=5, size=20)
+        span.path = "engine"
+        span.mark("enqueued", 1.0)
+        span.mark("dispatched", 2.0)
+        span.engine_s = 0.25
+        span.worker_id = 3
+        span.batch_size = 8
+        span.mark("resolved", 3.0)
+        event = span.to_event()
+        assert event["event"] == "request"
+        assert event["trace_id"] == "t-1"
+        assert event["seed"] == 5 and event["size"] == 20
+        assert event["queue_wait_s"] == 1.0
+        assert event["engine_s"] == 0.25
+        assert event["worker_id"] == 3 and event["batch_size"] == 8
+        assert "error" not in event
+        span.error = "deadline_exceeded"
+        assert span.to_event()["error"] == "deadline_exceeded"
+
+    def test_marks_monotone_under_thread_storm(self):
+        """Each mark has one writer, but different threads write
+        different marks; pipeline order must survive 8-way concurrency."""
+        spans = [Span() for _ in range(200)]
+        barrier = threading.Barrier(8)
+
+        def storm(offset: int):
+            barrier.wait()
+            for index, span in enumerate(spans):
+                if index % 8 != offset:
+                    continue
+                span.mark("admitted")
+                span.mark("enqueued")
+                span.mark("dispatched")
+                span.engine_s = 1e-5
+                time.sleep(0)  # encourage interleaving
+                span.mark("resolved")
+
+        threads = [threading.Thread(target=storm, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for span in spans:
+            assert span.admitted <= span.enqueued <= span.dispatched
+            assert span.dispatched <= span.resolved
+            assert span.queue_wait_s >= 0.0
+            assert span.collect_s >= 0.0
+            assert span.total_s >= 0.0
+
+
+def _resolved_span(seed: int = 0) -> Span:
+    span = Span(seed=seed, size=10)
+    span.mark("enqueued", 1.0)
+    span.mark("dispatched", 2.0)
+    span.mark("resolved", 3.0)
+    return span
+
+
+class TestTraceLog:
+    def test_appends_jsonl_with_ts(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceLog(path) as log:
+            log.record_span(_resolved_span())
+            log.record_event("epoch_advance", epoch=2, n=100)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["event"] for line in lines] == ["request", "epoch_advance"]
+        assert all("ts" in line for line in lines)
+        assert lines[1]["epoch"] == 2
+
+    def test_sampling_is_deterministic(self, tmp_path):
+        """rate=0.25 logs exactly every 4th span — an accumulator, not a
+        coin flip, so replays compare stable."""
+        log = TraceLog(tmp_path / "t.jsonl", sample_rate=0.25)
+        logged = [log.record_span(_resolved_span(i)) for i in range(20)]
+        log.close()
+        assert sum(logged) == 5
+        assert logged == [False, False, False, True] * 5
+        assert log.spans_seen == 20
+        assert log.spans_sampled == 5
+
+    def test_rate_zero_logs_no_spans_but_all_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = TraceLog(path, sample_rate=0.0)
+        assert not log.record_span(_resolved_span())
+        log.record_event("worker_death", worker_id=1)
+        log.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["event"] for line in lines] == ["worker_death"]
+
+    def test_rejects_bad_rate(self, tmp_path):
+        with pytest.raises(ValueError, match="sample_rate"):
+            TraceLog(tmp_path / "t.jsonl", sample_rate=1.5)
+
+    def test_close_is_idempotent_and_drops_late_writes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = TraceLog(path)
+        log.record_event("update")
+        log.close()
+        log.close()
+        log.record_event("after_close")  # silently dropped, no crash
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_concurrent_writers_produce_valid_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = TraceLog(path)
+
+        def writer(worker: int):
+            for index in range(50):
+                log.record_span(_resolved_span(worker * 100 + index))
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 200  # no torn or interleaved lines
+        assert log.events_written == 200

@@ -286,6 +286,118 @@ class TestServeCLI:
             cli_main(["serve", "--dataset", "cora", "--scale", "0.1",
                       "--queries", str(queries)])
 
+    def test_serve_emits_trace_ids_and_trace_log(self, small_sbm, tmp_path, capsys):
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        queries = tmp_path / "queries.txt"
+        # All queries are submitted up-front (they coalesce), so the
+        # duplicate seed resolves from the engine batch, not the cache.
+        queries.write_text("0 10\n7 15\n0 10\n")
+        trace_path = tmp_path / "trace.jsonl"
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--queries", str(queries),
+                         "--trace-log", str(trace_path)])
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        trace_ids = [record["trace_id"] for record in records]
+        assert all(trace_ids) and len(set(trace_ids)) == 3
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        requests = [event for event in events if event["event"] == "request"]
+        assert len(requests) == 3
+        assert {event["path"] for event in requests} <= {"engine", "cache"}
+        assert set(trace_ids) == {event["trace_id"] for event in requests}
+
+    def test_serve_trace_sampling_thins_spans(self, small_sbm, tmp_path, capsys):
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("".join(f"{seed} 10\n" for seed in range(10)))
+        trace_path = tmp_path / "trace.jsonl"
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--queries", str(queries),
+                         "--trace-log", str(trace_path),
+                         "--trace-sample", "0.5"])
+        assert code == 0
+        capsys.readouterr()
+        requests = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if json.loads(line)["event"] == "request"
+        ]
+        assert len(requests) == 5  # deterministic: every 2nd span
+
+    def test_serve_metrics_port_scrapeable_while_lingering(
+        self, small_sbm, tmp_path, capsys, monkeypatch
+    ):
+        """--metrics-port 0 binds an ephemeral port, prints it to stderr,
+        and --linger-s keeps /metrics + /stats up after the last answer."""
+        import re
+        import threading
+        import urllib.request
+
+        graph_path = save_graph(small_sbm, tmp_path / "graph")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 10\n7 15\n")
+
+        class _Stderr:
+            def __init__(self):
+                self.buf = ""
+            def write(self, text):
+                self.buf += text
+            def flush(self):
+                pass
+
+        stderr = _Stderr()
+        monkeypatch.setattr("sys.stderr", stderr)
+        scraped = {}
+
+        def scrape():
+            import time
+            port = None
+            for _ in range(400):
+                match = re.search(r"listening on http://127\.0\.0\.1:(\d+)",
+                                  stderr.buf)
+                if match:
+                    port = int(match.group(1))
+                    break
+                time.sleep(0.025)
+            if port is None:
+                scraped["error"] = "metrics port never announced"
+                return
+            # Scrape inside the linger window, after results settle.
+            time.sleep(0.8)
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=5
+                ) as response:
+                    scraped["metrics"] = response.read().decode()
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/stats", timeout=5
+                ) as response:
+                    scraped["stats"] = json.loads(response.read().decode())
+            except Exception as error:  # surfaced by the assert below
+                scraped["error"] = repr(error)
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        code = cli_main(["serve", "--graph", str(graph_path),
+                         "--queries", str(queries),
+                         "--metrics-port", "0", "--linger-s", "2.0"])
+        scraper.join()
+        assert code == 0
+        assert "error" not in scraped, scraped.get("error")
+        metrics = scraped["metrics"]
+        assert "# TYPE laca_requests_total counter" in metrics
+        assert 'laca_requests_total{path="engine"} 2' in metrics
+        assert "laca_kernel_selections_total{" in metrics
+        assert "laca_touched_volume_count 2" in metrics
+        assert scraped["stats"]["requests"] == 2
+        assert "p50_queue_wait_s" in scraped["stats"]
+
 
 class TestExperimentsCLI:
     def test_list(self, capsys):
