@@ -24,7 +24,12 @@ trajectory is tracked in-repo instead of vanishing with each session:
   itself is host-dependent — ``cpu_count`` is recorded alongside);
 * observability overhead — the same serving drain with full tracing
   (every span written to a JSONL trace log) vs. tracing off, on the
-  Fig. 10 graph (the PR 7 acceptance evidence: < 3% seeds/s cost).
+  Fig. 10 graph (the PR 7 acceptance evidence: < 3% seeds/s cost);
+* fault tolerance — WAL durability cost per delta (no log / buffered /
+  fsync-per-record) and the pool's retry path under an injected worker
+  kill: p95 latency and seeds/s with one deterministic worker death
+  mid-drain, with a bitwise-identity check vs. the undisturbed run
+  (the PR 8 acceptance evidence).
 
 Usage::
 
@@ -395,9 +400,112 @@ def bench_observability(scale: float, n_requests: int, repeats: int) -> dict:
     }
 
 
+def bench_fault_tolerance(
+    scale: float, n_deltas: int, n_requests: int, workers: int
+) -> dict:
+    """WAL durability cost and the retry path's latency (PR 8 evidence).
+
+    The WAL rows isolate the logging cost of ``GraphStore.apply``: the
+    same single-edge delta stream with no log, with a buffered log
+    (``fsync="never"``), and with a per-record fsync.  The retry rows
+    drain the same request set through the pool twice — undisturbed,
+    then with one deterministic worker kill on its first block — and
+    demand bitwise-identical answers either way.
+    """
+    import tempfile
+
+    from repro.graphs.wal import GraphWAL
+    from repro.testing import FaultPlan, FaultRule
+
+    graph = load_dataset("arxiv", scale=scale)
+    rng = np.random.default_rng(6)
+    deltas = [
+        GraphDelta(add_edges=[(u, v)])
+        for u, v in random_absent_edges(graph, n_deltas, rng)
+    ]
+    wal_ms = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for policy in ("none", "never", "always"):
+            wal = (
+                None
+                if policy == "none"
+                else GraphWAL(os.path.join(tmp, f"{policy}.wal"), fsync=policy)
+            )
+            store = GraphStore(graph, wal=wal)
+            start = time.perf_counter()
+            for delta in deltas:
+                store.apply(delta)
+            wal_ms[policy] = (time.perf_counter() - start) / len(deltas) * 1e3
+            if wal is not None:
+                wal.close()
+
+    model = LACA(LacaConfig(metric="cosine", diffusion="greedy")).fit(graph)
+    seeds = [
+        int(s)
+        for s in np.random.default_rng(7).choice(
+            graph.n, size=n_requests, replace=True
+        )
+    ]
+
+    def drain(fault_plan):
+        service = PoolClusterService(
+            model, workers=workers, max_batch=32, max_wait_s=0.002,
+            cache_size=0, fault_plan=fault_plan, backoff_base_s=0.05,
+        )
+        try:
+            start = time.perf_counter()
+            futures = [service.submit(seed, 20) for seed in seeds]
+            wait(futures)
+            elapsed = time.perf_counter() - start
+            return (
+                [future.result() for future in futures],
+                elapsed,
+                service.stats(),
+            )
+        finally:
+            service.close(timeout=60)
+
+    clean, clean_s, clean_stats = drain(None)
+    chaos, chaos_s, chaos_stats = drain(
+        FaultPlan(
+            [
+                FaultRule(
+                    site="worker.block",
+                    match={"worker_id": 0, "spawn": 0},
+                    action="exit",
+                )
+            ]
+        )
+    )
+    return {
+        "graph": "arxiv",
+        "scale": scale,
+        "wal_deltas": len(deltas),
+        "apply_ms_per_delta_no_wal": round(wal_ms["none"], 3),
+        "apply_ms_per_delta_wal_buffered": round(wal_ms["never"], 3),
+        "apply_ms_per_delta_wal_fsync": round(wal_ms["always"], 3),
+        "wal_fsync_overhead_pct": round(
+            (wal_ms["always"] - wal_ms["none"]) / wal_ms["none"] * 100.0, 1
+        ),
+        "requests_in_flight": n_requests,
+        "workers": workers,
+        "bitwise_identical_through_kill": all(
+            np.array_equal(a, b) for a, b in zip(clean, chaos)
+        ),
+        "clean_seeds_per_s": round(n_requests / clean_s, 1),
+        "one_kill_seeds_per_s": round(n_requests / chaos_s, 1),
+        "clean_p95_latency_ms": round(clean_stats["p95_latency_s"] * 1e3, 3),
+        "one_kill_p95_latency_ms": round(
+            chaos_stats["p95_latency_s"] * 1e3, 3
+        ),
+        "worker_restarts": chaos_stats["worker_restarts"],
+        "block_retries": chaos_stats["block_retries"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr7.json")
+    parser.add_argument("--out", default="BENCH_pr8.json")
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -411,6 +519,7 @@ def main(argv=None) -> int:
         update_deltas, update_queries = 8, 32
         pool_scale, pool_requests, pool_workers = 4.0, 64, 2
         obs_requests, obs_repeats = 64, 2
+        ft_deltas, ft_requests = 8, 64
     else:
         big_scale, small_scale, n_seeds, repeats = 21.0, 1.0, 8, 3
         batch_seeds, serve_requests = 192, 256
@@ -418,10 +527,11 @@ def main(argv=None) -> int:
         pool_scale, pool_requests = 21.0, 256
         pool_workers = min(4, max(2, os.cpu_count() or 1))
         obs_requests, obs_repeats = 256, 3
+        ft_deltas, ft_requests = 32, 256
 
     started = time.time()
     report = {
-        "pr": 7,
+        "pr": 8,
         "smoke": args.smoke,
         "host": {
             "python": platform.python_version(),
@@ -451,6 +561,11 @@ def main(argv=None) -> int:
         # on the same Fig. 10 serving drain.
         "observability_overhead": bench_observability(
             pool_scale, obs_requests, obs_repeats
+        ),
+        # The PR 8 acceptance evidence: WAL durability cost per delta
+        # and the retry path under one deterministic worker kill.
+        "fault_tolerance": bench_fault_tolerance(
+            pool_scale, ft_deltas, ft_requests, pool_workers
         ),
     }
     report["wall_seconds"] = round(time.time() - started, 1)
@@ -485,6 +600,20 @@ def main(argv=None) -> int:
         f"tracing    {obs['tracing_off_seeds_per_s']:.1f} -> "
         f"{obs['tracing_on_seeds_per_s']:.1f} seeds/s with every span "
         f"logged ({obs['overhead_pct']:+.2f}% overhead)"
+    )
+    ft = report["fault_tolerance"]
+    print(
+        f"wal        {ft['apply_ms_per_delta_no_wal']:.2f} -> "
+        f"{ft['apply_ms_per_delta_wal_fsync']:.2f} ms/delta with "
+        f"per-record fsync ({ft['wal_fsync_overhead_pct']:+.1f}%)"
+    )
+    print(
+        f"one kill   {ft['clean_seeds_per_s']:.1f} -> "
+        f"{ft['one_kill_seeds_per_s']:.1f} seeds/s, p95 "
+        f"{ft['clean_p95_latency_ms']:.1f} -> "
+        f"{ft['one_kill_p95_latency_ms']:.1f} ms "
+        f"({ft['block_retries']} block retr(ies), "
+        f"bitwise_identical={ft['bitwise_identical_through_kill']})"
     )
     print(f"report written to {args.out} ({report['wall_seconds']}s)")
     return 0

@@ -263,6 +263,7 @@ def _cmd_serve(args) -> int:
         load_model,
         save_model,
     )
+    from .testing import FaultPlan
 
     graph = _load_cli_graph(args)
     if args.model:
@@ -297,6 +298,20 @@ def _cmd_serve(args) -> int:
     if args.trace_log:
         trace_log = TraceLog(args.trace_log, sample_rate=args.trace_sample)
 
+    # Durable updates: back the service's store with a write-ahead log
+    # so every delta applied while serving survives a crash
+    # (GraphStore.recover replays it bitwise on restart).
+    store = None
+    if args.wal:
+        from .graphs.store import GraphStore
+        from .graphs.wal import GraphWAL
+
+        store = GraphStore(model._require_fit(), wal=GraphWAL(args.wal))
+
+    # Deterministic chaos testing: REPRO_FAULTS carries a JSON fault
+    # plan (see repro.testing.faults) into the workers and collector.
+    fault_plan = FaultPlan.from_env()
+
     if args.workers > 0:
         service_ctx = PoolClusterService(
             model,
@@ -305,10 +320,15 @@ def _cmd_serve(args) -> int:
             deadline_s=(
                 args.deadline_ms / 1000.0 if args.deadline_ms else None
             ),
+            max_retries=args.max_retries,
+            restart_budget=args.restart_budget,
+            fallback_inprocess=args.fallback_inprocess,
+            fault_plan=fault_plan,
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms / 1000.0,
             cache_size=args.cache_size,
             trace_log=trace_log,
+            store=store,
         )
     else:
         service_ctx = ClusterService(
@@ -317,6 +337,7 @@ def _cmd_serve(args) -> int:
             max_wait_s=args.max_wait_ms / 1000.0,
             cache_size=args.cache_size,
             trace_log=trace_log,
+            store=store,
         )
     metrics_server = None
     try:
@@ -414,7 +435,24 @@ def _cmd_update(args) -> int:
                 deltas.append(GraphDelta.from_mapping(payload))
             except (ValueError, TypeError) as error:
                 raise SystemExit(f"updates line {lineno}: {error}") from None
-    store = GraphStore(graph, history=max(len(deltas), 1))
+    history = max(len(deltas), 1)
+    if args.wal:
+        # Crash recovery first: replay whatever an earlier (possibly
+        # interrupted) run already logged, then append the new stream.
+        from .graphs.wal import WalCorruption
+
+        try:
+            store = GraphStore.recover(graph, args.wal, history=history)
+        except WalCorruption as error:
+            raise SystemExit(f"write-ahead log {args.wal}: {error}") from None
+        if store.epoch > graph.epoch:
+            print(
+                f"recovered epochs {graph.epoch + 1}..{store.epoch} "
+                f"from {args.wal}",
+                file=sys.stderr,
+            )
+    else:
+        store = GraphStore(graph, history=history)
 
     for delta in deltas:
         n_before = store.head.n  # touched_nodes works in pre-delta ids
@@ -523,6 +561,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline for --workers: drop requests still "
         "queued after MS milliseconds (default: no deadline)",
     )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="for --workers: times a request lost to a worker death is "
+        "re-dispatched before failing (default: 2)",
+    )
+    serve.add_argument(
+        "--restart-budget", type=int, default=3, metavar="N",
+        help="for --workers: respawns each worker slot gets per sliding "
+        "window before staying dead (default: 3; 0 disables supervision)",
+    )
+    serve.add_argument(
+        "--fallback-inprocess", action="store_true",
+        help="for --workers: degrade to in-process answering instead of "
+        "failing when every worker is dead",
+    )
+    serve.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="append every applied graph delta to a crash-recoverable "
+        "write-ahead log at PATH (see also 'update --wal')",
+    )
     serve.add_argument("--stats", action="store_true",
                        help="print service telemetry to stderr at the end")
     serve.add_argument(
@@ -564,6 +622,11 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument(
         "--save-model", default=None, metavar="PATH",
         help="persist the refreshed model (requires --model)",
+    )
+    update.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="durable write-ahead log: replay any deltas already in PATH "
+        "first (crash recovery), then append the new stream to it",
     )
     return parser
 

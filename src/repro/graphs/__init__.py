@@ -28,6 +28,7 @@ from .shm import (
     publish_snapshot,
 )
 from .store import GraphDelta, GraphStore
+from .wal import GraphWAL, WalCorruption, read_wal_records
 from .corruption import (
     add_random_edges,
     drop_edges,
@@ -68,6 +69,9 @@ __all__ = [
     "publish_snapshot",
     "GraphDelta",
     "GraphStore",
+    "GraphWAL",
+    "WalCorruption",
+    "read_wal_records",
     "add_random_edges",
     "drop_edges",
     "mask_attributes",

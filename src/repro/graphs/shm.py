@@ -49,13 +49,21 @@ def _export_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory, dict]:
     """Copy ``array`` into a fresh named segment; returns (segment, spec)."""
     array = np.ascontiguousarray(array)
     segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
-    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-    view[...] = array
-    spec = {
-        "segment": segment.name,
-        "shape": list(array.shape),
-        "dtype": array.dtype.str,
-    }
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        spec = {
+            "segment": segment.name,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        }
+    except BaseException:
+        # The segment exists under a published name the caller never
+        # learns; without the unlink it outlives the process in /dev/shm.
+        view = None  # a live buffer view would block close()
+        segment.close()
+        segment.unlink()
+        raise
     return segment, spec
 
 
@@ -171,8 +179,11 @@ def publish_snapshot(
             specs[key] = spec
     except Exception:
         for segment in segments:  # don't leak /dev/shm on a partial export
-            segment.close()
-            segment.unlink()
+            try:
+                segment.close()
+                segment.unlink()
+            except (BufferError, FileNotFoundError):
+                pass  # keep unlinking the rest regardless
         raise
     manifest = {
         "version": MANIFEST_VERSION,

@@ -34,6 +34,7 @@ invalidate exactly the state a delta could have affected.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .graph import AttributedGraph, _raise_isolated, normalize_rows
+from .wal import GraphWAL, WalCorruption, read_wal_records
 
 __all__ = ["GraphDelta", "GraphStore"]
 
@@ -188,6 +190,34 @@ class GraphDelta:
             set_attributes=set_attrs,
         )
 
+    def to_mapping(self) -> dict:
+        """Serialize to the JSON-shaped mapping :meth:`from_mapping` reads.
+
+        The inverse is exact: ids are integers, float rows serialize via
+        ``repr`` (shortest round-trip form), so
+        ``GraphDelta.from_mapping(delta.to_mapping())`` rebuilds a delta
+        whose apply produces a bitwise-identical snapshot — the property
+        the write-ahead log's crash recovery relies on.
+        """
+        payload: dict = {}
+        if self.add_edges.size:
+            payload["add_edges"] = self.add_edges.tolist()
+        if self.remove_edges.size:
+            payload["remove_edges"] = self.remove_edges.tolist()
+        if self.add_nodes:
+            payload["add_nodes"] = self.add_nodes
+        if self.add_attributes is not None:
+            payload["add_attributes"] = self.add_attributes.tolist()
+        if self.add_communities is not None:
+            payload["add_communities"] = self.add_communities.tolist()
+        if self.set_attributes is not None:
+            nodes, rows = self.set_attributes
+            payload["set_attributes"] = {
+                str(int(node)): row.tolist()
+                for node, row in zip(nodes, rows)
+            }
+        return payload
+
     # ------------------------------------------------------------------
     @property
     def is_empty(self) -> bool:
@@ -310,6 +340,15 @@ class GraphStore:
         How many applied deltas of touched-node bookkeeping to retain
         for :meth:`touched_since`; callers further behind than this get
         ``None`` ("unknown — treat everything as touched").
+    wal:
+        Optional :class:`~repro.graphs.wal.GraphWAL`; when set, every
+        delta is appended (and per the WAL's policy fsynced) *before*
+        the splice, so any epoch the store exposed survives a crash.
+        Use :meth:`recover` to replay an existing log.
+    fault_plan:
+        Optional :class:`~repro.testing.faults.FaultPlan` hooked at the
+        ``store.commit`` site (between splice and head publication) for
+        deterministic atomicity tests.
     """
 
     def __init__(
@@ -318,6 +357,8 @@ class GraphStore:
         *,
         patch_limit: int = 4096,
         history: int = 64,
+        wal: GraphWAL | None = None,
+        fault_plan=None,
     ) -> None:
         if not graph._binary_adjacency:
             raise ValueError(
@@ -328,6 +369,54 @@ class GraphStore:
         self._head = graph
         self._log: deque[_LogEntry] = deque(maxlen=max(int(history), 1))
         self._lock = threading.RLock()
+        self._wal = wal
+        self._fault_plan = fault_plan
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        graph: AttributedGraph,
+        path,
+        *,
+        fsync: str = "always",
+        fault_plan=None,
+        patch_limit: int = 4096,
+        history: int = 64,
+    ) -> "GraphStore":
+        """Rebuild a store from a base snapshot plus its write-ahead log.
+
+        Replays every intact record in ``path`` whose epoch is ahead of
+        ``graph.epoch``, in order, through the normal :meth:`apply`
+        path — determinism makes the recovered head **bitwise equal** to
+        the head the crashed process last committed.  A torn final
+        record (crash mid-write: bad CRC or missing terminator) is
+        truncated away; damage anywhere else raises
+        :class:`~repro.graphs.wal.WalCorruption`.  The returned store
+        has a live WAL attached at ``path``, so subsequent applies keep
+        appending where the log left off.
+        """
+        store = cls(
+            graph, patch_limit=patch_limit, history=history,
+            fault_plan=fault_plan,
+        )
+        if os.path.exists(path):
+            records, good_bytes, torn = read_wal_records(path)
+            if torn:
+                with open(path, "r+b") as handle:
+                    handle.truncate(good_bytes)
+            for index, record in enumerate(records):
+                epoch = int(record.get("epoch", -1))
+                if epoch <= graph.epoch:
+                    continue  # predates the base snapshot
+                if epoch != store._head.epoch + 1:
+                    raise WalCorruption(
+                        f"WAL record {index} advances to epoch {epoch} but "
+                        f"the replayed head is at epoch {store._head.epoch}"
+                    )
+                store.apply(GraphDelta.from_mapping(record["delta"]))
+        store._wal = GraphWAL(path, fsync=fsync, fault_plan=fault_plan)
+        return store
 
     # ------------------------------------------------------------------
     @property
@@ -341,6 +430,11 @@ class GraphStore:
         with self._lock:
             return self._head.epoch
 
+    @property
+    def wal(self) -> GraphWAL | None:
+        """The attached write-ahead log, if durability is enabled."""
+        return self._wal
+
     # ------------------------------------------------------------------
     def apply(self, delta: GraphDelta) -> AttributedGraph:
         """Apply ``delta`` atomically and return the new head snapshot.
@@ -348,90 +442,117 @@ class GraphStore:
         On any validation failure (out-of-range ids, removal of a
         missing edge, a deletion that would isolate a node, ...) the
         store is left exactly as it was — the head never moves to a
-        half-applied state.
+        half-applied state.  With a WAL attached the delta is appended
+        (and per policy fsynced) before the splice; if the splice then
+        fails the log is rolled back to its pre-append offset.
         """
         if not isinstance(delta, GraphDelta):
             raise TypeError(f"apply expects a GraphDelta, got {type(delta)!r}")
         with self._lock:
             graph = self._head
             delta.validate_against(graph)
-            n_old, n_new = graph.n, graph.n + delta.add_nodes
+            wal_offset = self._wal.tell() if self._wal is not None else None
+            try:
+                return self._apply_validated(graph, delta)
+            except BaseException:
+                if wal_offset is not None:
+                    # Best-effort rollback.  If even the truncate fails,
+                    # the orphan record replays a delta that validated
+                    # cleanly — recovery stays consistent, just one
+                    # epoch ahead of what this caller observed.
+                    try:
+                        self._wal.truncate_to(wal_offset)
+                    except OSError:
+                        pass
+                raise
 
-            if delta.touches_structure:
-                directed_entries = 2 * (
-                    delta.add_edges.shape[0] + delta.remove_edges.shape[0]
+    def _apply_validated(
+        self, graph: AttributedGraph, delta: GraphDelta
+    ) -> AttributedGraph:
+        """Splice ``delta`` (already validated) and publish the new head."""
+        if self._wal is not None:
+            self._wal.append(
+                {"epoch": graph.epoch + 1, "delta": delta.to_mapping()}
+            )
+        n_old, n_new = graph.n, graph.n + delta.add_nodes
+
+        if delta.touches_structure:
+            directed_entries = 2 * (
+                delta.add_edges.shape[0] + delta.remove_edges.shape[0]
+            )
+            if directed_entries > self.patch_limit:
+                adjacency, delta_deg = _compact_merge(
+                    graph.adjacency, n_new, delta.add_edges, delta.remove_edges
                 )
-                if directed_entries > self.patch_limit:
-                    adjacency, delta_deg = _compact_merge(
-                        graph.adjacency, n_new, delta.add_edges, delta.remove_edges
-                    )
-                    self.compactions += 1
-                else:
-                    adjacency, delta_deg = _patch_merge(
-                        graph.adjacency, n_new, delta.add_edges, delta.remove_edges
-                    )
-                degrees = np.zeros(n_new)
-                degrees[:n_old] = graph.degrees
-                degrees += delta_deg
-                if np.any(degrees == 0.0):
-                    _raise_isolated(degrees)
-                inv_degrees = np.zeros(n_new)
-                inv_degrees[:n_old] = graph.inv_degrees
-                changed = np.flatnonzero(delta_deg != 0)
-                inv_degrees[changed] = 1.0 / degrees[changed]
+                self.compactions += 1
             else:
-                # Attribute-only delta: structure (and its derived
-                # arrays) are shared with the previous snapshot.
-                adjacency = graph.adjacency
-                degrees = graph.degrees
-                inv_degrees = graph.inv_degrees
-
-            attributes = graph.attributes
-            if attributes is not None and (
-                delta.add_nodes or delta.set_attributes is not None
-            ):
-                new_attrs = np.empty((n_new, attributes.shape[1]))
-                new_attrs[:n_old] = attributes
-                if delta.add_nodes:
-                    new_attrs[n_old:] = normalize_rows(delta.add_attributes)
-                if delta.set_attributes is not None:
-                    nodes, rows = delta.set_attributes
-                    new_attrs[nodes] = normalize_rows(rows)
-                attributes = new_attrs
-
-            communities = graph.communities
-            if communities is not None and delta.add_nodes:
-                communities = np.concatenate([communities, delta.add_communities])
-            secondary = graph.secondary_communities
-            if secondary is not None and delta.add_nodes:
-                secondary = np.concatenate(
-                    [secondary, np.full(delta.add_nodes, -1, dtype=np.int64)]
+                adjacency, delta_deg = _patch_merge(
+                    graph.adjacency, n_new, delta.add_edges, delta.remove_edges
                 )
+            degrees = np.zeros(n_new)
+            degrees[:n_old] = graph.degrees
+            degrees += delta_deg
+            if np.any(degrees == 0.0):
+                _raise_isolated(degrees)
+            inv_degrees = np.zeros(n_new)
+            inv_degrees[:n_old] = graph.inv_degrees
+            changed = np.flatnonzero(delta_deg != 0)
+            inv_degrees[changed] = 1.0 / degrees[changed]
+        else:
+            # Attribute-only delta: structure (and its derived
+            # arrays) are shared with the previous snapshot.
+            adjacency = graph.adjacency
+            degrees = graph.degrees
+            inv_degrees = graph.inv_degrees
 
-            head = AttributedGraph._from_parts(
-                adjacency=adjacency,
-                degrees=degrees,
-                inv_degrees=inv_degrees,
-                binary_adjacency=True,
-                attributes=attributes,
-                communities=communities,
-                secondary_communities=secondary,
-                name=graph.name,
-                epoch=graph.epoch + 1,
+        attributes = graph.attributes
+        if attributes is not None and (
+            delta.add_nodes or delta.set_attributes is not None
+        ):
+            new_attrs = np.empty((n_new, attributes.shape[1]))
+            new_attrs[:n_old] = attributes
+            if delta.add_nodes:
+                new_attrs[n_old:] = normalize_rows(delta.add_attributes)
+            if delta.set_attributes is not None:
+                nodes, rows = delta.set_attributes
+                new_attrs[nodes] = normalize_rows(rows)
+            attributes = new_attrs
+
+        communities = graph.communities
+        if communities is not None and delta.add_nodes:
+            communities = np.concatenate([communities, delta.add_communities])
+        secondary = graph.secondary_communities
+        if secondary is not None and delta.add_nodes:
+            secondary = np.concatenate(
+                [secondary, np.full(delta.add_nodes, -1, dtype=np.int64)]
             )
-            self._log.append(
-                _LogEntry(
-                    epoch=head.epoch,
-                    touched=delta.touched_nodes(n_old),
-                    attribute_rows=(
-                        delta.attribute_rows(n_old)
-                        if graph.attributes is not None
-                        else _EMPTY_NODES
-                    ),
-                )
+
+        head = AttributedGraph._from_parts(
+            adjacency=adjacency,
+            degrees=degrees,
+            inv_degrees=inv_degrees,
+            binary_adjacency=True,
+            attributes=attributes,
+            communities=communities,
+            secondary_communities=secondary,
+            name=graph.name,
+            epoch=graph.epoch + 1,
+        )
+        if self._fault_plan is not None:
+            self._fault_plan.check("store.commit", epoch=head.epoch)
+        self._log.append(
+            _LogEntry(
+                epoch=head.epoch,
+                touched=delta.touched_nodes(n_old),
+                attribute_rows=(
+                    delta.attribute_rows(n_old)
+                    if graph.attributes is not None
+                    else _EMPTY_NODES
+                ),
             )
-            self._head = head
-            return head
+        )
+        self._head = head
+        return head
 
     # ------------------------------------------------------------------
     def _entries_since(self, epoch: int) -> list[_LogEntry] | None:

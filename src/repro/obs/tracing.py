@@ -59,6 +59,7 @@ class Span:
         "engine_s",
         "worker_id",
         "batch_size",
+        "retries",
         "error",
     )
 
@@ -74,6 +75,7 @@ class Span:
         self.engine_s: float = 0.0
         self.worker_id: int | None = None
         self.batch_size: int | None = None
+        self.retries: int = 0
         self.error: str | None = None
 
     def mark(self, stage: str, at: float | None = None) -> float:
@@ -126,6 +128,8 @@ class Span:
             event["worker_id"] = self.worker_id
         if self.batch_size is not None:
             event["batch_size"] = self.batch_size
+        if self.retries:
+            event["retries"] = self.retries
         if self.error is not None:
             event["error"] = self.error
         return event

@@ -14,7 +14,9 @@ package turns the two into a long-lived service:
 - :mod:`~repro.serving.pool` — :class:`PoolClusterService`, the same
   front-end fanned out to worker *processes* over a shared-memory
   graph (:mod:`repro.graphs.shm`), with admission control
-  (``max_pending`` load-shedding, per-request deadlines);
+  (``max_pending`` load-shedding, per-request deadlines) and fault
+  tolerance (worker supervision/respawn, idempotent block retry,
+  optional in-process fallback);
 - :mod:`~repro.serving.cache` — the epoch-aware LRU
   :class:`ResultCache` and the :func:`config_digest` that keys it;
 - :mod:`~repro.serving.telemetry` — per-service latency/occupancy/
@@ -34,7 +36,7 @@ Typical use::
 
 from .cache import ResultCache, config_digest, query_key
 from .persistence import ModelRegistry, load_model, save_model
-from .pool import DeadlineExceeded, PoolClusterService, PoolSaturated
+from .pool import DeadlineExceeded, PoolClusterService, PoolSaturated, WorkerError
 from .service import ClusterService, UpdateTimeout
 from .telemetry import ServiceTelemetry
 
@@ -47,6 +49,7 @@ __all__ = [
     "ResultCache",
     "ServiceTelemetry",
     "UpdateTimeout",
+    "WorkerError",
     "config_digest",
     "load_model",
     "query_key",

@@ -90,6 +90,18 @@ class _Request:
     #: Per-request trace span (stage timestamps + trace id); created at
     #: submission, resolved alongside the future.
     span: Span | None = None
+    #: Graph epoch the request was keyed at.  A retry that crossed an
+    #: epoch advance must not be recomputed — its cache key names the
+    #: old snapshot — so the dispatcher fails it instead.
+    epoch: int | None = None
+    #: How many times this request was re-enqueued after losing its
+    #: worker (the pool's idempotent-retry path).
+    retries: int = 0
+    #: True once the request went back through the dispatcher queue
+    #: (retry or parked-block flush).  Only requeued requests get the
+    #: strict epoch check — a fresh submission is positioned correctly
+    #: relative to update markers by construction.
+    requeued: bool = False
 
 
 @dataclass
@@ -228,6 +240,10 @@ class ClusterService:
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
         self._close_lock = threading.Lock()
+        # close() idempotency: the first clean close's result is
+        # memoized and later calls return it without re-joining threads.
+        self._closer_lock = threading.Lock()
+        self._close_result: bool | None = None
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop,
             name=f"cluster-service-{self.name}",
@@ -280,7 +296,7 @@ class ClusterService:
                     if self.trace_log is not None:
                         self.trace_log.record_span(span)
                     return future
-            request = _Request(seed=seed, size=size, key=key)
+            request = _Request(seed=seed, size=size, key=key, epoch=self._epoch)
             span = Span(seed=seed, size=size)
             span.path = "engine"
             span.mark("admitted", request.enqueued_at)
@@ -361,6 +377,8 @@ class ClusterService:
             epoch_before = store.epoch
             start = time.perf_counter()
             head = store.apply(delta)
+            if store.wal is not None:
+                self.telemetry.record_wal_append()
             update = _Update(
                 epoch=head.epoch, touched=store.touched_since(epoch_before)
             )
@@ -450,23 +468,39 @@ class ClusterService:
         every future still sitting in the queue is failed with a
         ``RuntimeError`` instead of being left to hang forever, and
         ``False`` is returned — the caller knows the join was
-        incomplete rather than silently assuming a clean shutdown.  A
-        later ``close()`` re-joins and reports again.
+        incomplete rather than silently assuming a clean shutdown.
+
+        Idempotent: once a close completed cleanly, every later call
+        returns ``True`` immediately instead of racing the thread joins
+        (teardown runs exactly once).  After an *unclean* close
+        (``False``), a later call re-joins — so a caller can retry with
+        a longer timeout — but closes are serialized, never concurrent.
         """
         with self._close_lock:
-            already_closed = self._closed
-            if not already_closed:
+            if not self._closed:
                 self._closed = True
                 self._queue.put(_SHUTDOWN)
+        with self._closer_lock:
+            if self._close_result is not None:
+                return self._close_result
+            result = self._do_close(timeout)
+            if result:
+                self._close_result = True
+            return result
+
+    def _do_close(self, timeout: float | None) -> bool:
+        """The actual teardown, serialized by ``close()``: join the
+        dispatcher and fail whatever would otherwise hang.  Subclasses
+        extend this (never ``close`` itself) so idempotency memoization
+        stays in one place."""
         self._dispatcher.join(timeout)
         if self._dispatcher.is_alive():
-            if not already_closed:
-                self._drain_queue(
-                    RuntimeError(
-                        "service closed before this request was answered "
-                        "(dispatcher did not finish within the close timeout)"
-                    )
+            self._drain_queue(
+                RuntimeError(
+                    "service closed before this request was answered "
+                    "(dispatcher did not finish within the close timeout)"
                 )
+            )
             return False
         return True
 

@@ -123,6 +123,10 @@ class ServiceTelemetry:
         self._deadline_misses = 0
         self._worker_batches: dict[int, int] = {}
         self._worker_seeds: dict[int, int] = {}
+        # Fault-tolerance extensions (PR 8).
+        self._worker_restarts = 0
+        self._block_retries = 0
+        self._wal_records = 0
 
         # Registry twin: the mergeable / scrapeable view of the same
         # events.  Bound children are resolved once, here, so recorders
@@ -187,6 +191,18 @@ class ServiceTelemetry:
         )
         self._m_worker_seeds = reg.counter(
             "laca_worker_seeds_total", "Seeds answered per pool worker", ("worker",)
+        )
+        self._m_worker_restarts = reg.counter(
+            "laca_worker_restarts_total",
+            "Crashed pool workers respawned by the supervisor",
+        )
+        self._m_block_retries = reg.counter(
+            "laca_block_retries_total",
+            "Blocks re-dispatched after losing their worker mid-flight",
+        )
+        self._m_wal_records = reg.counter(
+            "laca_wal_records_total",
+            "Graph deltas appended to the write-ahead log",
         )
         self.engine_metrics = make_engine_metrics(reg)
 
@@ -280,6 +296,24 @@ class ServiceTelemetry:
             self._deadline_misses += 1
         self._m_deadline.inc()
 
+    def record_worker_restart(self) -> None:
+        """One crashed pool worker respawned by the supervisor."""
+        with self._lock:
+            self._worker_restarts += 1
+        self._m_worker_restarts.inc()
+
+    def record_block_retry(self) -> None:
+        """One block re-dispatched after its worker died mid-flight."""
+        with self._lock:
+            self._block_retries += 1
+        self._m_block_retries.inc()
+
+    def record_wal_append(self) -> None:
+        """One graph delta appended durably to the write-ahead log."""
+        with self._lock:
+            self._wal_records += 1
+        self._m_wal_records.inc()
+
     def record_update(
         self, seconds: float, invalidated: int = 0, promoted: int = 0
     ) -> None:
@@ -360,6 +394,9 @@ class ServiceTelemetry:
             entries_promoted = self._entries_promoted
             shed = self._shed
             deadline_misses = self._deadline_misses
+            worker_restarts = self._worker_restarts
+            block_retries = self._block_retries
+            wal_records = self._wal_records
             worker_occupancy = {
                 worker_id: {
                     "batches": self._worker_batches[worker_id],
@@ -390,6 +427,9 @@ class ServiceTelemetry:
             "shed": shed,
             "deadline_misses": deadline_misses,
             "worker_occupancy": worker_occupancy,
+            "worker_restarts": worker_restarts,
+            "block_retries": block_retries,
+            "wal_records": wal_records,
         }
         for stage in STAGE_NAMES:
             window = stage_windows[stage]

@@ -1,0 +1,5 @@
+"""Deterministic test harnesses: fault injection for chaos testing."""
+
+from .faults import FaultError, FaultPlan, FaultRule, UnpicklableFault
+
+__all__ = ["FaultError", "FaultPlan", "FaultRule", "UnpicklableFault"]

@@ -121,3 +121,83 @@ class TestLifecycleAndSafety:
         bad = dict(snapshot.manifest, version=999)
         with pytest.raises(ValueError, match="manifest version"):
             attach_snapshot(bad)
+
+    def test_failed_publish_unlinks_created_segments(
+        self, small_sbm, monkeypatch
+    ):
+        """A publish that dies mid-export must not leak the segments it
+        already created: their names never reach a caller, so nothing
+        could ever unlink them (they would outlive the process in
+        /dev/shm).  Regression test for the partial-publish path."""
+        from multiprocessing import shared_memory
+
+        from repro.graphs import shm as shm_module
+
+        real = shared_memory.SharedMemory
+        created: list[str] = []
+        calls = {"n": 0}
+
+        def failing(*args, **kwargs):
+            if kwargs.get("create"):
+                calls["n"] += 1
+                if calls["n"] == 3:  # die after two segments exist
+                    raise OSError("no space left on device")
+            segment = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(
+            shm_module.shared_memory, "SharedMemory", failing
+        )
+        with pytest.raises(OSError, match="no space"):
+            publish_snapshot(small_sbm)
+        monkeypatch.undo()
+        assert len(created) == 2  # the failure really was mid-publish
+        for name in created:  # and both survivors were unlinked
+            with pytest.raises(FileNotFoundError):
+                real(name=name)
+
+    def test_failed_export_copy_unlinks_its_segment(self, monkeypatch):
+        """_export_array's own failure window: the segment is created
+        but the copy into it dies.  The name was never returned, so the
+        only correct move is close + unlink before re-raising."""
+        from multiprocessing import shared_memory
+
+        from repro.graphs.shm import _export_array
+
+        real = shared_memory.SharedMemory
+        created: list[str] = []
+
+        def tracking(*args, **kwargs):
+            segment = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment.name)
+            return segment
+
+        import types
+
+        from repro.graphs import shm as shm_module
+
+        monkeypatch.setattr(
+            shm_module.shared_memory, "SharedMemory", tracking
+        )
+
+        def no_view(*args, **kwargs):
+            raise TypeError("cannot map this dtype onto a buffer")
+
+        # Fail the view construction *after* the segment allocation —
+        # the exact window the cleanup covers.
+        monkeypatch.setattr(
+            shm_module,
+            "np",
+            types.SimpleNamespace(
+                ascontiguousarray=np.ascontiguousarray, ndarray=no_view
+            ),
+        )
+        with pytest.raises(TypeError, match="cannot map"):
+            _export_array(np.arange(4.0))
+        monkeypatch.undo()
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real(name=created[0])

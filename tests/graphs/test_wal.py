@@ -1,0 +1,242 @@
+"""Tests for the graph write-ahead log and crash recovery.
+
+The governing contract: any head the store ever exposed is
+reconstructible from base snapshot + WAL, **bitwise** — recovery is a
+replay through the same deterministic apply path, not a best-effort
+restore.  Torn tails truncate; interior damage refuses to recover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphDelta,
+    GraphStore,
+    GraphWAL,
+    WalCorruption,
+    read_wal_records,
+)
+from repro.graphs.wal import _encode_record
+from repro.testing import FaultPlan, FaultRule
+
+
+def _assert_graphs_bitwise_equal(a, b):
+    assert a.epoch == b.epoch and a.n == b.n and a.m == b.m
+    np.testing.assert_array_equal(a.adjacency.indptr, b.adjacency.indptr)
+    np.testing.assert_array_equal(a.adjacency.indices, b.adjacency.indices)
+    assert a.adjacency.data.tobytes() == b.adjacency.data.tobytes()
+    if a.attributes is None:
+        assert b.attributes is None
+    else:
+        assert a.attributes.tobytes() == b.attributes.tobytes()
+
+
+def _deltas(graph):
+    """A delta stream exercising every field that rides the WAL."""
+    rng = np.random.default_rng(11)
+    d = graph.attributes.shape[1]
+    return [
+        GraphDelta(add_edges=np.array([[0, 50], [1, 60]])),
+        GraphDelta(remove_edges=np.array([[0, 50]])),
+        GraphDelta(
+            add_nodes=2,
+            add_edges=np.array([[graph.n, 3], [graph.n + 1, 4]]),
+            add_attributes=rng.normal(size=(2, d)),
+            add_communities=np.array([0, 1]),
+        ),
+        GraphDelta(set_attributes=([7, 31], rng.normal(size=(2, d)))),
+    ]
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with GraphWAL(path) as wal:
+            offset0 = wal.append({"epoch": 1, "delta": {"add_nodes": 1}})
+            offset1 = wal.append({"epoch": 2, "delta": {"pi": 0.1 + 0.2}})
+            assert offset0 == 0 and offset1 > 0
+            assert wal.records_appended == 2
+        records, good_bytes, torn = read_wal_records(path)
+        assert not torn
+        assert records == [
+            {"epoch": 1, "delta": {"add_nodes": 1}},
+            # floats survive exactly (repr is shortest-round-trip)
+            {"epoch": 2, "delta": {"pi": 0.1 + 0.2}},
+        ]
+        assert good_bytes == path.stat().st_size
+
+    def test_torn_tail_is_flagged_not_fatal(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with GraphWAL(path) as wal:
+            wal.append({"epoch": 1})
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(_encode_record({"epoch": 2})[:-5])  # crash mid-write
+        records, good_bytes, torn = read_wal_records(path)
+        assert torn and good_bytes == intact
+        assert [r["epoch"] for r in records] == [1]
+
+    def test_corrupt_crc_tail_is_torn(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with GraphWAL(path) as wal:
+            wal.append({"epoch": 1})
+            offset = wal.append({"epoch": 2})
+        data = bytearray(path.read_bytes())
+        data[offset + 12] ^= 0xFF  # flip a payload byte under the old CRC
+        path.write_bytes(bytes(data))
+        records, good_bytes, torn = read_wal_records(path)
+        assert torn and good_bytes == offset
+        assert [r["epoch"] for r in records] == [1]
+
+    def test_interior_damage_raises(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with GraphWAL(path) as wal:
+            wal.append({"epoch": 1})
+            offset = wal.append({"epoch": 2})
+            wal.append({"epoch": 3})
+        data = bytearray(path.read_bytes())
+        data[offset + 12] ^= 0xFF  # damage with an intact record after it
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruption, match="later records are intact"):
+            read_wal_records(path)
+
+    def test_truncate_to_rolls_back(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with GraphWAL(path) as wal:
+            wal.append({"epoch": 1})
+            offset = wal.tell()
+            wal.append({"epoch": 2})
+            wal.truncate_to(offset)
+            wal.append({"epoch": 99})
+        records, _, torn = read_wal_records(path)
+        assert not torn and [r["epoch"] for r in records] == [1, 99]
+
+    def test_closed_wal_refuses_io(self, tmp_path):
+        wal = GraphWAL(tmp_path / "log.wal")
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            wal.append({"epoch": 1})
+
+    def test_invalid_fsync_policy(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            GraphWAL(tmp_path / "log.wal", fsync="sometimes")
+
+
+class TestStoreRecovery:
+    @pytest.mark.parametrize("fsync", ["always", "never"])
+    def test_recovered_head_is_bitwise_equal(self, small_sbm, tmp_path, fsync):
+        path = tmp_path / "store.wal"
+        store = GraphStore(small_sbm, wal=GraphWAL(path, fsync=fsync))
+        for delta in _deltas(small_sbm):
+            store.apply(delta)
+        head = store.head
+        store.wal.close()
+
+        recovered = GraphStore.recover(small_sbm, path, fsync=fsync)
+        _assert_graphs_bitwise_equal(recovered.head, head)
+        assert recovered.wal is not None  # log stays live for new applies
+        recovered.apply(GraphDelta(add_edges=np.array([[2, 80]])))
+        assert recovered.epoch == head.epoch + 1
+        recovered.wal.close()
+
+    def test_recover_truncates_torn_tail(self, small_sbm, tmp_path):
+        path = tmp_path / "store.wal"
+        store = GraphStore(small_sbm, wal=GraphWAL(path))
+        deltas = _deltas(small_sbm)
+        for delta in deltas:
+            store.apply(delta)
+        store.wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b'deadbeef {"epoch": 99')  # torn final write
+
+        recovered = GraphStore.recover(small_sbm, path)
+        assert recovered.epoch == store.epoch
+        _assert_graphs_bitwise_equal(recovered.head, store.head)
+        recovered.wal.close()
+        # the torn bytes are physically gone: a second recovery reads a
+        # clean log
+        records, _, torn = read_wal_records(path)
+        assert not torn and len(records) == len(deltas)
+
+    def test_recover_skips_records_behind_base_snapshot(
+        self, small_sbm, tmp_path
+    ):
+        path = tmp_path / "store.wal"
+        store = GraphStore(small_sbm, wal=GraphWAL(path))
+        for delta in _deltas(small_sbm):
+            store.apply(delta)
+        store.wal.close()
+        # Recover onto the *advanced* head: every record predates it.
+        recovered = GraphStore.recover(store.head, path)
+        assert recovered.epoch == store.epoch
+        recovered.wal.close()
+
+    def test_recover_rejects_epoch_gap(self, small_sbm, tmp_path):
+        path = tmp_path / "store.wal"
+        with GraphWAL(path) as wal:
+            wal.append({"epoch": 2, "delta": {"add_edges": [[0, 9]]}})
+        with pytest.raises(WalCorruption, match="epoch"):
+            GraphStore.recover(small_sbm, path)
+
+    def test_recover_without_log_file(self, small_sbm, tmp_path):
+        path = tmp_path / "missing.wal"
+        store = GraphStore.recover(small_sbm, path)
+        assert store.epoch == small_sbm.epoch
+        store.apply(GraphDelta(add_edges=np.array([[0, 50]])))
+        store.wal.close()
+        records, _, torn = read_wal_records(path)
+        assert not torn and len(records) == 1
+
+    def test_delta_mapping_round_trip(self, small_sbm):
+        store_a = GraphStore(small_sbm)
+        store_b = GraphStore(small_sbm)
+        for delta in _deltas(small_sbm):
+            clone = GraphDelta.from_mapping(delta.to_mapping())
+            _assert_graphs_bitwise_equal(
+                store_a.apply(delta), store_b.apply(clone)
+            )
+
+
+class TestApplyDurability:
+    def test_fsync_failure_rolls_back_log_and_head(self, small_sbm, tmp_path):
+        """A failed fsync must leave neither a head advance nor a log
+        record behind — the append is rolled back to its start offset."""
+        path = tmp_path / "store.wal"
+        plan = FaultPlan(
+            [FaultRule(site="wal.fsync", exc="oserror", message="disk gone")]
+        )
+        store = GraphStore(
+            small_sbm, wal=GraphWAL(path, fault_plan=plan)
+        )
+        with pytest.raises(OSError, match="disk gone"):
+            store.apply(GraphDelta(add_edges=np.array([[0, 50]])))
+        assert store.epoch == small_sbm.epoch  # head did not move
+        records, good_bytes, torn = read_wal_records(path)
+        assert records == [] and good_bytes == 0 and not torn
+        # the rule fired once; the store is fully usable afterwards
+        head = store.apply(GraphDelta(add_edges=np.array([[0, 50]])))
+        assert head.epoch == small_sbm.epoch + 1
+        store.wal.close()
+
+    def test_mid_splice_failure_rolls_back_wal(self, small_sbm, tmp_path):
+        """A crash between the WAL append and the head splice must not
+        leave a record for an epoch that never committed (it would
+        replay as phantom history)."""
+        path = tmp_path / "store.wal"
+        plan = FaultPlan([FaultRule(site="store.commit")])
+        store = GraphStore(
+            small_sbm, wal=GraphWAL(path), fault_plan=plan
+        )
+        delta = GraphDelta(add_edges=np.array([[0, 50]]))
+        with pytest.raises(Exception, match="injected"):
+            store.apply(delta)
+        assert store.epoch == small_sbm.epoch
+        records, _, _ = read_wal_records(path)
+        assert records == []  # the appended record was rolled back
+        head = store.apply(delta)  # rule exhausted: applies cleanly
+        assert head.epoch == small_sbm.epoch + 1
+        recovered = GraphStore.recover(small_sbm, path)
+        _assert_graphs_bitwise_equal(recovered.head, head)
+        recovered.wal.close()
+        store.wal.close()

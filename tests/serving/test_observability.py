@@ -45,6 +45,9 @@ EXPECTED_STATS_KEYS = {
     "p95_engine_s",
     "p50_collect_s",
     "p95_collect_s",
+    "worker_restarts",
+    "block_retries",
+    "wal_records",
 }
 
 

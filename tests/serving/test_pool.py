@@ -186,7 +186,15 @@ class TestAdmissionControl:
         admitted."""
         model = _model(small_sbm)
         service = PoolClusterService(
-            model, workers=1, max_pending=3, max_wait_s=0.0, cache_size=0
+            model,
+            workers=1,
+            max_pending=3,
+            max_wait_s=0.0,
+            cache_size=0,
+            # Pin pre-supervision behavior: the dead worker must stay
+            # dead so nothing ever drains the admission ledger.
+            restart_budget=0,
+            max_retries=0,
         )
         try:
             # kill the worker so nothing drains, then hammer submit
@@ -237,6 +245,14 @@ class TestAdmissionControl:
             PoolClusterService(model, max_pending=0)
         with pytest.raises(ValueError, match="deadline_s"):
             PoolClusterService(model, deadline_s=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            PoolClusterService(model, max_retries=-1)
+        with pytest.raises(ValueError, match="restart_budget"):
+            PoolClusterService(model, restart_budget=-1)
+        with pytest.raises(ValueError, match="restart_window_s"):
+            PoolClusterService(model, restart_window_s=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            PoolClusterService(model, backoff_base_s=1.0, backoff_max_s=0.5)
 
 
 class TestPoolLifecycle:
@@ -261,10 +277,17 @@ class TestPoolLifecycle:
 
     def test_worker_death_fails_inflight_not_service(self, small_sbm):
         """Killing one of two workers must fail only its in-flight
-        requests; the survivor keeps answering."""
+        requests; the survivor keeps answering.  Supervision is
+        disabled here to pin the pre-respawn degraded mode (the
+        recovering behavior lives in test_fault_tolerance.py)."""
         model = _model(small_sbm)
         service = PoolClusterService(
-            model, workers=2, max_wait_s=0.0, cache_size=0
+            model,
+            workers=2,
+            max_wait_s=0.0,
+            cache_size=0,
+            restart_budget=0,
+            max_retries=0,
         )
         try:
             service._procs[0].terminate()

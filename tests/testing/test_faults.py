@@ -1,0 +1,126 @@
+"""Tests for the deterministic fault-injection harness.
+
+The harness is itself test infrastructure, so its determinism contract
+gets pinned here: counted triggers (``after``/``times``), field
+matching, seeded probability replay, and pickle transport into workers.
+"""
+
+import pickle
+
+import pytest
+
+from repro.testing import FaultError, FaultPlan, FaultRule, UnpicklableFault
+
+
+class TestFaultRule:
+    def test_rejects_unknown_action_and_exc(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultRule(site="x", action="explode")
+        with pytest.raises(ValueError, match="exception kind"):
+            FaultRule(site="x", exc="weird")
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(site="x", probability=1.5)
+        with pytest.raises(ValueError, match="after"):
+            FaultRule(site="x", after=-1)
+
+    def test_matching_is_site_and_field_equality(self):
+        rule = FaultRule(site="worker.block", match={"worker_id": 1})
+        assert rule.matches("worker.block", {"worker_id": 1, "spawn": 0})
+        assert not rule.matches("worker.block", {"worker_id": 2})
+        assert not rule.matches("worker.reload", {"worker_id": 1})
+        # a match on an absent field never fires
+        assert not rule.matches("worker.block", {"spawn": 0})
+
+
+class TestFaultPlan:
+    def test_counted_trigger_after_and_times(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", after=2, times=2, action="raise")]
+        )
+        fired = []
+        for _ in range(6):
+            try:
+                plan.check("s")
+                fired.append(False)
+            except FaultError:
+                fired.append(True)
+        # observations 0,1 skipped (after=2), 2,3 fire (times=2), rest pass
+        assert fired == [False, False, True, True, False, False]
+        assert plan.fire_count("s") == 2
+
+    def test_unmatched_fields_do_not_count(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", match={"worker_id": 0}, after=1)]
+        )
+        plan.check("s", worker_id=1)  # does not count toward after
+        plan.check("s", worker_id=0)  # first matching observation: skipped
+        with pytest.raises(FaultError):
+            plan.check("s", worker_id=0)
+
+    def test_drop_returns_true_delay_returns_false(self):
+        plan = FaultPlan(
+            [
+                FaultRule(site="d", action="drop"),
+                FaultRule(site="w", action="delay", delay_s=0.0),
+            ]
+        )
+        assert plan.check("d") is True
+        assert plan.check("w") is False
+        assert plan.fire_count() == 2
+
+    def test_exception_kinds(self):
+        plan = FaultPlan(
+            [
+                FaultRule(site="a", exc="oserror", message="disk full"),
+                FaultRule(site="b", exc="unpicklable", message="boom"),
+            ]
+        )
+        with pytest.raises(OSError, match="disk full"):
+            plan.check("a")
+        with pytest.raises(UnpicklableFault, match="boom"):
+            plan.check("b")
+        with pytest.raises(TypeError):
+            pickle.dumps(UnpicklableFault("x"))
+
+    def test_seeded_probability_replays_exactly(self):
+        def run(seed):
+            plan = FaultPlan(
+                [FaultRule(site="s", probability=0.5, times=0)], seed=seed
+            )
+            outcomes = []
+            for _ in range(32):
+                try:
+                    plan.check("s")
+                    outcomes.append(0)
+                except FaultError:
+                    outcomes.append(1)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert 0 < sum(run(7)) < 32  # actually probabilistic
+
+    def test_from_spec_and_env(self, monkeypatch):
+        plan = FaultPlan.from_spec(
+            {"seed": 3, "rules": [{"site": "s", "action": "drop"}]}
+        )
+        assert plan.seed == 3 and plan.check("s") is True
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(
+            "REPRO_FAULTS", '[{"site": "s", "action": "drop"}]'
+        )
+        env_plan = FaultPlan.from_env()
+        assert env_plan is not None and env_plan.check("s") is True
+        monkeypatch.setenv("REPRO_FAULTS", "{not json")
+        with pytest.raises(ValueError, match="REPRO_FAULTS"):
+            FaultPlan.from_env()
+
+    def test_plan_pickles_with_counter_state(self):
+        plan = FaultPlan([FaultRule(site="s", after=1)])
+        plan.check("s")  # consume the skipped observation
+        clone = pickle.loads(pickle.dumps(plan))
+        with pytest.raises(FaultError):
+            clone.check("s")  # counter state traveled
+        with pytest.raises(FaultError):
+            plan.check("s")  # original unaffected by the clone
