@@ -2,7 +2,7 @@
 """Benchmark report: record the serving-path performance trajectory.
 
 Runs the performance suite that matters for the serving north star and
-writes one JSON document (``BENCH_pr6.json`` by default) so the perf
+writes one JSON document (``BENCH_pr9.json`` by default) so the perf
 trajectory is tracked in-repo instead of vanishing with each session:
 
 * single-seed queries/sec — frontier kernels + workspace vs. the
@@ -29,7 +29,13 @@ trajectory is tracked in-repo instead of vanishing with each session:
   fsync-per-record) and the pool's retry path under an injected worker
   kill: p95 latency and seeds/s with one deterministic worker death
   mid-drain, with a bitwise-identity check vs. the undisturbed run
-  (the PR 8 acceptance evidence).
+  (the PR 8 acceptance evidence);
+* scenario replay — a seeded 21-epoch dynamic-SBM community-tracking
+  trace (churn, births/deaths, drift, one merge, one split) replayed
+  as a mixed read/write stream through both the single-process service
+  and the pool: update throughput, query p50/p95, cache hit and
+  invalidation rates, per-epoch tracking recall, and a bitwise
+  verify-vs-refit at every epoch (the PR 9 acceptance evidence).
 
 Usage::
 
@@ -503,9 +509,103 @@ def bench_fault_tolerance(
     }
 
 
+def bench_scenario_replay(
+    n: int, epochs: int, queries_per_epoch: int, workers: int, verify_every: int
+) -> dict:
+    """Temporal scenario replay through both serving front-ends (PR 9).
+
+    One seeded dynamic-SBM trace — community churn, births/deaths,
+    attribute drift, one scheduled merge and one split — replayed as a
+    mixed read/write stream (Zipf-seeded queries interleaved with the
+    epoch deltas) through the single-process service and the worker
+    pool.  ``verify_every=1`` refits a fresh model from scratch at every
+    epoch and demands the incrementally refreshed answers be bitwise
+    identical; tracking recall scores each answer against the planted
+    evolving partition.
+    """
+    from repro.scenarios import (
+        DynamicSBMConfig,
+        ReplayConfig,
+        generate_dynamic_sbm,
+        replay,
+    )
+
+    scenario = generate_dynamic_sbm(
+        DynamicSBMConfig(
+            n=n,
+            n_communities=8,
+            avg_degree=8.0,
+            mixing=0.08,
+            d=32,
+            epochs=epochs,
+            churn_fraction=0.01,
+            birth_fraction=0.005,
+            death_fraction=0.003,
+            drift_fraction=0.01,
+            merge_epochs=(max(2, epochs // 3),),
+            split_epochs=(max(3, (2 * epochs) // 3),),
+        ),
+        seed=9,
+    )
+    replay_config = ReplayConfig(
+        queries_per_epoch=queries_per_epoch,
+        seed=13,
+        verify_every=verify_every,
+        verify_sample=2,
+        drain_before_update=True,
+    )
+    config = LacaConfig(metric="cosine", diffusion="greedy")
+
+    out = {
+        "scenario": {
+            "n": n,
+            "communities": 8,
+            "epochs": epochs,
+            "queries_per_epoch": queries_per_epoch,
+            "total_queries": epochs * queries_per_epoch,
+            "verify_every": verify_every,
+        },
+    }
+    for name in ("service", "pool"):
+        model = LACA(config).fit(scenario.base)
+        store = GraphStore(scenario.base, history=epochs + 1)
+        if name == "pool":
+            service = PoolClusterService(
+                model, workers=workers, store=store, max_batch=32,
+                max_wait_s=0.002, cache_size=4096,
+            )
+        else:
+            service = ClusterService(
+                model, store=store, max_batch=32, max_wait_s=0.002,
+                cache_size=4096,
+            )
+        try:
+            result = replay(service, scenario, replay_config)
+        finally:
+            service.close(timeout=60)
+        summary = result.summary()
+        out[name] = {
+            "workers": workers if name == "pool" else 1,
+            "queries": summary["queries"],
+            "query_p50_ms": summary["query_p50_ms"],
+            "query_p95_ms": summary["query_p95_ms"],
+            "mean_update_s": summary["mean_update_s"],
+            "updates_per_s": summary["updates_per_s"],
+            "mean_tracking_recall": summary["mean_tracking_recall"],
+            "mean_tracked_stability": summary["mean_tracked_stability"],
+            "cache_hit_rate": summary["cache_hit_rate"],
+            "entries_promoted": summary["entries_promoted"],
+            "entries_invalidated": summary["entries_invalidated"],
+            "shed": summary["shed"],
+            "deadline_misses": summary["deadline_misses"],
+            "all_verified_bitwise": summary["all_verified_bitwise"],
+        }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr8.json")
+    parser.add_argument("--out", default="BENCH_pr9.json")
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -520,6 +620,7 @@ def main(argv=None) -> int:
         pool_scale, pool_requests, pool_workers = 4.0, 64, 2
         obs_requests, obs_repeats = 64, 2
         ft_deltas, ft_requests = 8, 64
+        replay_n, replay_epochs, replay_queries, replay_verify = 400, 5, 24, 2
     else:
         big_scale, small_scale, n_seeds, repeats = 21.0, 1.0, 8, 3
         batch_seeds, serve_requests = 192, 256
@@ -528,10 +629,11 @@ def main(argv=None) -> int:
         pool_workers = min(4, max(2, os.cpu_count() or 1))
         obs_requests, obs_repeats = 256, 3
         ft_deltas, ft_requests = 32, 256
+        replay_n, replay_epochs, replay_queries, replay_verify = 2000, 21, 256, 1
 
     started = time.time()
     report = {
-        "pr": 8,
+        "pr": 9,
         "smoke": args.smoke,
         "host": {
             "python": platform.python_version(),
@@ -566,6 +668,13 @@ def main(argv=None) -> int:
         # and the retry path under one deterministic worker kill.
         "fault_tolerance": bench_fault_tolerance(
             pool_scale, ft_deltas, ft_requests, pool_workers
+        ),
+        # The PR 9 acceptance evidence: a ≥20-epoch evolving-community
+        # trace with ≥5k mixed queries through both front-ends, every
+        # epoch's answers verified bitwise against a from-scratch refit.
+        "scenario_replay": bench_scenario_replay(
+            replay_n, replay_epochs, replay_queries, pool_workers,
+            replay_verify,
         ),
     }
     report["wall_seconds"] = round(time.time() - started, 1)
@@ -615,6 +724,16 @@ def main(argv=None) -> int:
         f"({ft['block_retries']} block retr(ies), "
         f"bitwise_identical={ft['bitwise_identical_through_kill']})"
     )
+    scen = report["scenario_replay"]
+    for side in ("service", "pool"):
+        row = scen[side]
+        print(
+            f"replay/{side:7s} {row['queries']} queries over "
+            f"{scen['scenario']['epochs']} epochs: p50 "
+            f"{row['query_p50_ms']:.2f} ms, {row['updates_per_s']:.1f} "
+            f"updates/s, recall {row['mean_tracking_recall']:.3f}, "
+            f"verified={row['all_verified_bitwise']}"
+        )
     print(f"report written to {args.out} ({report['wall_seconds']}s)")
     return 0
 

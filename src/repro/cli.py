@@ -48,6 +48,16 @@ fitted model along incrementally instead of refitting::
     python -m repro update --graph g.npz --updates deltas.jsonl --out g2.npz
     python -m repro update --graph g.npz --updates - --out g2.npz \
         --model m.npz --save-model m2.npz
+
+Replay a temporal community-tracking scenario against the serving
+layer — a seeded dynamic SBM with planted *evolving* communities (or an
+Enron-style ``u v t`` timestamped edge file), interleaving graph deltas
+with Zipf-bursty query traffic and reporting per-epoch tracking
+recall, cluster stability, cache churn, and latency percentiles::
+
+    python -m repro replay --epochs 20 --n 2000 --queries-per-epoch 256
+    python -m repro replay --workers 2 --verify-every 5 --report out.json
+    python -m repro replay --edges-file enron.txt --epochs 12 --mode open
 """
 
 from __future__ import annotations
@@ -489,6 +499,114 @@ def _cmd_update(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    """Replay an evolving-community scenario against the serving layer.
+
+    Generates a seeded dynamic SBM (or lifts an ``u v t`` timestamped
+    edge file into a delta stream), fits LACA on the base snapshot, and
+    drives a ``ClusterService`` — or, with ``--workers N``, the process
+    pool — through the mixed read/write trace.  One JSON line per epoch
+    plus a trace-wide summary; ``--report`` writes everything to a file.
+    """
+    from .core.pipeline import LACA
+    from .graphs.store import GraphStore
+    from .scenarios import (
+        DynamicSBMConfig,
+        EventStreamScenario,
+        ReplayConfig,
+        generate_dynamic_sbm,
+        parse_timestamped_edges,
+        replay,
+    )
+    from .serving import ClusterService, PoolClusterService
+
+    if args.edges_file:
+        with open(args.edges_file, encoding="utf-8") as handle:
+            events = parse_timestamped_edges(handle)
+        scenario = EventStreamScenario.from_timestamped_edges(
+            events, windows=args.epochs + 1, base_windows=1
+        )
+        if args.verify_every:
+            raise SystemExit(
+                "--verify-every needs a generated scenario (no from-scratch "
+                "snapshot exists for a timestamped stream)"
+            )
+    else:
+        config = DynamicSBMConfig(
+            n=args.n,
+            n_communities=args.communities,
+            avg_degree=args.avg_degree,
+            mixing=args.mixing,
+            d=args.d,
+            epochs=args.epochs,
+            churn_fraction=args.churn,
+            birth_fraction=args.births,
+            death_fraction=args.deaths,
+            drift_fraction=args.drift,
+            merge_epochs=tuple(args.merge_at or ()),
+            split_epochs=tuple(args.split_at or ()),
+        )
+        scenario = generate_dynamic_sbm(config, seed=args.scenario_seed)
+
+    model = LACA(metric=args.metric).fit(scenario.base)
+    print(
+        f"fitted {model.describe()} on {scenario.base.name} "
+        f"(n={scenario.base.n}, m={scenario.base.m}, "
+        f"{scenario.epochs} epochs queued)",
+        file=sys.stderr,
+    )
+
+    store = GraphStore(scenario.base, history=max(64, scenario.epochs + 1))
+    if args.workers > 0:
+        service_ctx = PoolClusterService(
+            model,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            store=store,
+        )
+    else:
+        service_ctx = ClusterService(
+            model,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            store=store,
+        )
+
+    replay_config = ReplayConfig(
+        queries_per_epoch=args.queries_per_epoch,
+        size=args.size,
+        zipf_exponent=args.zipf,
+        mode=args.mode,
+        rate_qps=args.rate_qps,
+        seed=args.replay_seed,
+        track_seeds=args.track_seeds,
+        verify_every=args.verify_every,
+    )
+    with service_ctx as service:
+        result = replay(service, scenario, replay_config)
+        stats = service.stats() if args.stats else None
+
+    for report in result.epochs:
+        print(json.dumps(report), flush=True)
+    summary = result.summary()
+    print(json.dumps({"summary": summary}), flush=True)
+    if stats is not None:
+        print(json.dumps(stats), file=sys.stderr)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"epochs": result.epochs, "summary": summary},
+                handle,
+                indent=2,
+            )
+        print(f"wrote report to {args.report}", file=sys.stderr)
+    if summary["all_verified_bitwise"] is False:
+        print("BITWISE VERIFICATION FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description="LACA local clustering CLI"
@@ -628,6 +746,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable write-ahead log: replay any deltas already in PATH "
         "first (crash recovery), then append the new stream to it",
     )
+
+    rep = commands.add_parser(
+        "replay",
+        help="replay an evolving-community scenario with mixed "
+        "read/write traffic against the serving layer",
+    )
+    rep.add_argument("--epochs", type=int, default=20,
+                     help="delta-stream length (scenario epochs)")
+    rep.add_argument("--n", type=int, default=1200,
+                     help="base-graph size of the generated dynamic SBM")
+    rep.add_argument("--communities", type=int, default=8)
+    rep.add_argument("--avg-degree", type=float, default=8.0)
+    rep.add_argument("--mixing", type=float, default=0.12)
+    rep.add_argument("--d", type=int, default=64, help="attribute dimension")
+    rep.add_argument("--churn", type=float, default=0.02,
+                     help="per-epoch membership-churn fraction")
+    rep.add_argument("--births", type=float, default=0.01,
+                     help="per-epoch node-birth fraction")
+    rep.add_argument("--deaths", type=float, default=0.005,
+                     help="per-epoch node-retirement fraction")
+    rep.add_argument("--drift", type=float, default=0.03,
+                     help="per-epoch attribute-drift fraction")
+    rep.add_argument("--merge-at", type=int, nargs="*", default=None,
+                     metavar="EPOCH", help="epochs with a community merge")
+    rep.add_argument("--split-at", type=int, nargs="*", default=None,
+                     metavar="EPOCH", help="epochs with a community split")
+    rep.add_argument("--scenario-seed", type=int, default=0)
+    rep.add_argument(
+        "--edges-file", default=None, metavar="FILE",
+        help="replay an 'u v t' timestamped edge file instead of a "
+        "generated scenario (Enron-style; windows become epochs)",
+    )
+    rep.add_argument("--queries-per-epoch", type=int, default=128)
+    rep.add_argument(
+        "--size", type=int, default=None,
+        help="cluster size per query (default: the planted cluster's size)",
+    )
+    rep.add_argument("--zipf", type=float, default=1.1,
+                     help="Zipf exponent of the query-popularity skew")
+    rep.add_argument("--mode", choices=["closed", "open"], default="closed")
+    rep.add_argument("--rate-qps", type=float, default=2000.0,
+                     help="open-loop arrival rate (bursts spike above it)")
+    rep.add_argument("--replay-seed", type=int, default=0)
+    rep.add_argument("--track-seeds", type=int, default=8,
+                     help="seeds tracked for cross-epoch cluster stability")
+    rep.add_argument(
+        "--verify-every", type=int, default=0, metavar="K",
+        help="every K epochs, refit from scratch and demand bitwise-equal "
+        "answers (0 disables)",
+    )
+    rep.add_argument("--metric", choices=["cosine", "exp_cosine"],
+                     default="cosine")
+    rep.add_argument("--max-batch", type=int, default=64)
+    rep.add_argument("--cache-size", type=int, default=4096)
+    rep.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="replay against an N-process pool (0 = in-process service)",
+    )
+    rep.add_argument("--report", default=None, metavar="PATH",
+                     help="write per-epoch reports + summary JSON to PATH")
+    rep.add_argument("--stats", action="store_true",
+                     help="print service telemetry to stderr at the end")
     return parser
 
 
@@ -639,6 +819,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
         "update": _cmd_update,
+        "replay": _cmd_replay,
     }
     try:
         return handlers[args.command](args)

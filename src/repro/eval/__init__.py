@@ -1,6 +1,6 @@
 """Evaluation: metrics, experiment harness, and reporting."""
 
-from .metrics import conductance, f1_score, precision, recall, wcss
+from .metrics import conductance, f1_score, jaccard, precision, recall, wcss
 from .harness import (
     MethodEvaluation,
     evaluate_many,
@@ -14,6 +14,7 @@ from .significance import BootstrapResult, paired_bootstrap, sign_test
 __all__ = [
     "conductance",
     "f1_score",
+    "jaccard",
     "precision",
     "recall",
     "wcss",

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..graphs.graph import AttributedGraph
 
-__all__ = ["precision", "recall", "f1_score", "conductance", "wcss"]
+__all__ = ["precision", "recall", "f1_score", "jaccard", "conductance", "wcss"]
 
 
 def _as_index_array(nodes) -> np.ndarray:
@@ -48,6 +48,23 @@ def f1_score(predicted, truth) -> float:
     if p + r == 0.0:
         return 0.0
     return 2.0 * p * r / (p + r)
+
+
+def jaccard(a, b) -> float:
+    """``|A ∩ B| / |A ∪ B|`` between two node sets.
+
+    The cluster-stability measure of the dynamic-community tracking
+    literature (Greene et al. 2010): the Jaccard overlap of a tracked
+    seed's cluster across consecutive epochs.  Two empty sets have
+    Jaccard 1 (nothing changed).
+    """
+    a = _as_index_array(a)
+    b = _as_index_array(b)
+    union = np.union1d(a, b).shape[0]
+    if union == 0:
+        return 1.0
+    overlap = np.intersect1d(a, b, assume_unique=True).shape[0]
+    return overlap / union
 
 
 def conductance(graph: AttributedGraph, cluster) -> float:

@@ -6,10 +6,12 @@ from .generators import (
     attributed_sbm,
     plain_sbm,
     community_sizes,
+    ensure_connected_cover,
     planted_partition_edges,
     random_absent_edges,
     rewire_edges,
     sample_secondary_memberships,
+    sparse_topic_profiles,
     topic_attributes,
 )
 from .datasets import (
@@ -50,10 +52,12 @@ __all__ = [
     "attributed_sbm",
     "plain_sbm",
     "community_sizes",
+    "ensure_connected_cover",
     "planted_partition_edges",
     "random_absent_edges",
     "rewire_edges",
     "sample_secondary_memberships",
+    "sparse_topic_profiles",
     "topic_attributes",
     "ATTRIBUTED_DATASETS",
     "NON_ATTRIBUTED_DATASETS",

@@ -33,8 +33,10 @@ __all__ = [
     "attributed_sbm",
     "plain_sbm",
     "community_sizes",
+    "ensure_connected_cover",
     "planted_partition_edges",
     "random_absent_edges",
+    "sparse_topic_profiles",
     "topic_attributes",
     "rewire_edges",
     "sample_secondary_memberships",
@@ -227,6 +229,28 @@ def planted_partition_edges(
     return edges
 
 
+def sparse_topic_profiles(
+    count: int,
+    d: int,
+    rng: np.random.Generator,
+    support_size: int | None = None,
+) -> np.ndarray:
+    """``count`` sparse non-negative "keyword" profiles, L2-normalized.
+
+    Each profile has exponential weight on a small random support —
+    the building block of :func:`topic_attributes`, exposed so dynamic
+    scenarios can mint topics for communities born mid-stream with the
+    same statistics as the base graph's.
+    """
+    if support_size is None:
+        support_size = max(2, d // 4)
+    profiles = np.zeros((count, d))
+    for row in range(count):
+        support = rng.choice(d, size=support_size, replace=False)
+        profiles[row, support] = rng.exponential(scale=1.0, size=support_size)
+    return normalize_rows(profiles)
+
+
 def topic_attributes(
     labels: np.ndarray,
     d: int,
@@ -249,17 +273,9 @@ def topic_attributes(
     """
     n_communities = int(labels.max()) + 1
     n = labels.shape[0]
-    support_size = max(2, d // 4)
 
-    def _sparse_profile(count: int) -> np.ndarray:
-        profiles = np.zeros((count, d))
-        for row in range(count):
-            support = rng.choice(d, size=support_size, replace=False)
-            profiles[row, support] = rng.exponential(scale=1.0, size=support_size)
-        return normalize_rows(profiles)
-
-    topics = _sparse_profile(n_communities)
-    background = _sparse_profile(1)[0]
+    topics = sparse_topic_profiles(n_communities, d, rng)
+    background = sparse_topic_profiles(1, d, rng)[0]
     topics = (1.0 - topic_overlap) * topics + topic_overlap * background
     topics = normalize_rows(topics)
 
@@ -269,7 +285,7 @@ def topic_attributes(
     # noise creates the cross-community attribute ambiguity real
     # bag-of-words data exhibits.
     confusers = topics[rng.integers(0, n_communities, size=n)]
-    random_profiles = _sparse_profile(n)
+    random_profiles = sparse_topic_profiles(n, d, rng)
     noise = normalize_rows(0.7 * confusers + 0.3 * random_profiles)
     signal = topics[labels]
     if secondary is not None:
@@ -300,7 +316,7 @@ def rewire_edges(
     return edges
 
 
-def _ensure_connected_cover(
+def ensure_connected_cover(
     edges: np.ndarray, labels: np.ndarray, rng: np.random.Generator
 ) -> np.ndarray:
     """Append a random in-community chain so no node is isolated.
@@ -311,6 +327,8 @@ def _ensure_connected_cover(
     """
     chains = []
     for community in np.unique(labels):
+        if community < 0:
+            continue
         members = np.flatnonzero(labels == community)
         if members.shape[0] < 2:
             continue
@@ -318,7 +336,7 @@ def _ensure_connected_cover(
         chains.append(np.column_stack([perm[:-1], perm[1:]]))
     # One chain over community representatives keeps the graph connected.
     representatives = np.array(
-        [np.flatnonzero(labels == c)[0] for c in np.unique(labels)]
+        [np.flatnonzero(labels == c)[0] for c in np.unique(labels) if c >= 0]
     )
     if representatives.shape[0] >= 2:
         chains.append(np.column_stack([representatives[:-1], representatives[1:]]))
@@ -348,7 +366,7 @@ def attributed_sbm(
         secondary_weight=config.secondary_weight,
     )
     edges = rewire_edges(edges, config.rewire_fraction, config.n, rng)
-    edges = _ensure_connected_cover(edges, labels, rng)
+    edges = ensure_connected_cover(edges, labels, rng)
     attrs = topic_attributes(
         labels,
         config.d,
@@ -386,7 +404,7 @@ def plain_sbm(
     edges = planted_partition_edges(
         labels, avg_degree, mixing, rng, secondary=secondary
     )
-    edges = _ensure_connected_cover(edges, labels, rng)
+    edges = ensure_connected_cover(edges, labels, rng)
     return AttributedGraph.from_edges(
         n,
         edges,

@@ -1,0 +1,43 @@
+"""Temporal community-tracking scenarios on the delta stream.
+
+Planted evolving-community generators (:mod:`repro.scenarios.dynamic`),
+an event-stream replay harness that drives the serving layer with mixed
+read/write traffic (:mod:`repro.scenarios.replay`), and drift metrics
+for tracking quality across epochs (:mod:`repro.scenarios.drift`).
+"""
+
+from .dynamic import (
+    DynamicSBMConfig,
+    DynamicScenario,
+    EpochRecord,
+    generate_dynamic_sbm,
+)
+from .drift import SeedTracker, partition_drift, staleness_ledger
+from .replay import (
+    EventStreamScenario,
+    ReplayConfig,
+    ReplayResult,
+    arrival_offsets,
+    parse_timestamped_edges,
+    replay,
+    sample_seeds_zipf,
+    timestamped_edge_deltas,
+)
+
+__all__ = [
+    "DynamicSBMConfig",
+    "DynamicScenario",
+    "EpochRecord",
+    "generate_dynamic_sbm",
+    "SeedTracker",
+    "partition_drift",
+    "staleness_ledger",
+    "EventStreamScenario",
+    "ReplayConfig",
+    "ReplayResult",
+    "arrival_offsets",
+    "parse_timestamped_edges",
+    "replay",
+    "sample_seeds_zipf",
+    "timestamped_edge_deltas",
+]

@@ -1,0 +1,577 @@
+"""Dynamic-graph generators with planted *evolving* communities.
+
+The static :func:`repro.graphs.attributed_sbm` plants a fixed partition;
+this module animates it.  A :class:`DynamicScenario` is a base attributed
+SBM plus a seeded schedule of **epochs**, each carrying one
+:class:`~repro.graphs.GraphDelta` and the ground-truth community labels
+that hold *after* the delta — the dynamic-community tracking benchmark
+design of Greene et al. (2010) and the dynamic-SBM line of work, realized
+on this repo's delta stream.
+
+Per-epoch events (all seeded, all recorded in ``EpochRecord.events``):
+
+* **churn** — members migrate to another community (edges rewired toward
+  the new community, attributes re-drawn from its topic);
+* **merge / split** — scheduled at configured epochs: a whole community
+  is absorbed into another, or half a large community secedes under a
+  freshly minted topic;
+* **birth / death** — new nodes arrive attached to a host community
+  (``GraphDelta`` node appends); "dying" nodes retire — their label
+  becomes ``-1``, intra-community edges are removed (degree floor 1:
+  snapshots reject isolated nodes) and their attributes decay to noise;
+* **drift** — attribute rows resampled around the node's current topic.
+
+Two invariants make the scenarios usable as oracles:
+
+1. **Bitwise replay parity.**  Applying the delta stream through a
+   ``GraphStore`` yields, at every epoch, a snapshot bitwise-identical to
+   ``DynamicScenario.graph_at(epoch)`` built from scratch.  The scenario
+   therefore tracks *raw* (pre-normalization) attribute rows so both
+   paths normalize exactly once.
+2. **Touched ground truth.**  Any node whose ground-truth label changes
+   at epoch ``e`` appears in that delta's touched set (its attribute row
+   is always re-drawn), so epoch-aware cache invalidation is sufficient
+   for correctness of tracked answers.
+
+``AttributedGraph.communities`` is immutable per snapshot and carries
+*birth* labels only; the evolving truth lives in ``labels_at``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.generators import (
+    community_sizes,
+    ensure_connected_cover,
+    planted_partition_edges,
+    sparse_topic_profiles,
+)
+from ..graphs.graph import AttributedGraph, normalize_rows
+from ..graphs.store import GraphDelta
+
+__all__ = [
+    "DynamicSBMConfig",
+    "EpochRecord",
+    "DynamicScenario",
+    "generate_dynamic_sbm",
+]
+
+
+@dataclass(frozen=True)
+class DynamicSBMConfig:
+    """Knobs of a planted evolving-community scenario.
+
+    Rates are fractions of the *live* population (label >= 0) per epoch.
+    ``merge_epochs`` / ``split_epochs`` schedule structural events at
+    specific epochs (1-based); all other events fire every epoch.
+    """
+
+    n: int = 600
+    n_communities: int = 6
+    avg_degree: float = 8.0
+    mixing: float = 0.12
+    d: int = 64
+    attribute_noise: float = 0.4
+    topic_overlap: float = 0.1
+    epochs: int = 20
+    churn_fraction: float = 0.02
+    birth_fraction: float = 0.01
+    death_fraction: float = 0.005
+    drift_fraction: float = 0.03
+    merge_epochs: tuple[int, ...] = ()
+    split_epochs: tuple[int, ...] = ()
+    attach_edges: int = 4
+    detach_fraction: float = 0.7
+    min_live_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.n_communities < 2:
+            raise ValueError("need at least two communities to evolve")
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch of the scenario: the delta and the truth after it."""
+
+    epoch: int
+    delta: GraphDelta
+    labels: np.ndarray
+    events: tuple[dict, ...]
+
+
+class _DeltaBuilder:
+    """Accumulates one epoch's edits while keeping them delta-legal.
+
+    Mutates the scenario's live adjacency/labels as it goes, records the
+    net add/remove/set-attribute sets, and guards every edge removal with
+    a degree floor of 1 on both endpoints (snapshots reject isolation).
+    ``GraphDelta`` forbids adding and removing the same edge in one
+    batch, so an add of a pending removal (or vice versa) cancels out.
+    """
+
+    def __init__(self, adj: list[set], n0: int) -> None:
+        self.adj = adj
+        self.n0 = n0
+        self.adds: set[tuple[int, int]] = set()
+        self.removes: set[tuple[int, int]] = set()
+        self.set_rows: dict[int, np.ndarray] = {}
+        self.born_rows: list[np.ndarray] = []
+        self.born_labels: list[int] = []
+
+    @property
+    def n(self) -> int:
+        return len(self.adj)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        u, v = int(u), int(v)
+        if u == v or v in self.adj[u]:
+            return False
+        pair = (u, v) if u < v else (v, u)
+        if pair in self.removes:
+            self.removes.discard(pair)
+        else:
+            self.adds.add(pair)
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        u, v = int(u), int(v)
+        if v not in self.adj[u]:
+            return False
+        if len(self.adj[u]) <= 1 or len(self.adj[v]) <= 1:
+            return False
+        pair = (u, v) if u < v else (v, u)
+        if pair in self.adds:
+            self.adds.discard(pair)
+        else:
+            self.removes.add(pair)
+        self.adj[u].discard(v)
+        self.adj[v].discard(u)
+        return True
+
+    def set_row(self, node: int, row: np.ndarray) -> None:
+        if node >= self.n0:
+            raise ValueError("set_attributes targets pre-epoch nodes only")
+        self.set_rows[int(node)] = row
+
+    def born(self, label: int, row: np.ndarray) -> int:
+        node = self.n
+        self.adj.append(set())
+        self.born_rows.append(row)
+        self.born_labels.append(int(label))
+        return node
+
+    def to_delta(self) -> GraphDelta:
+        set_attributes = None
+        if self.set_rows:
+            nodes = np.array(sorted(self.set_rows), dtype=np.int64)
+            rows = np.stack([self.set_rows[int(v)] for v in nodes])
+            set_attributes = (nodes, rows)
+        n_born = len(self.born_rows)
+        return GraphDelta(
+            add_edges=sorted(self.adds),
+            remove_edges=sorted(self.removes),
+            add_nodes=n_born,
+            add_attributes=np.stack(self.born_rows) if n_born else None,
+            add_communities=(
+                np.array(self.born_labels, dtype=np.int64) if n_born else None
+            ),
+            set_attributes=set_attributes,
+        )
+
+
+class DynamicScenario:
+    """A base graph plus an epoch-indexed delta stream with ground truth.
+
+    ``epoch`` ranges over ``0 .. len(records)``; epoch 0 is the base
+    graph, epoch ``e`` is the state after applying ``records[e-1].delta``.
+    """
+
+    def __init__(
+        self,
+        config: DynamicSBMConfig,
+        base: AttributedGraph,
+        records: list[EpochRecord],
+        edges: list[np.ndarray],
+        raw_attributes: list[np.ndarray],
+        graph_communities: list[np.ndarray],
+    ) -> None:
+        self.config = config
+        self.base = base
+        self.records = records
+        self._edges = edges
+        self._raw_attributes = raw_attributes
+        self._graph_communities = graph_communities
+        self._labels = [np.asarray(base.communities)] + [
+            record.labels for record in records
+        ]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def deltas(self) -> list[GraphDelta]:
+        return [record.delta for record in self.records]
+
+    def n_at(self, epoch: int) -> int:
+        return int(self._labels[epoch].shape[0])
+
+    def labels_at(self, epoch: int) -> np.ndarray:
+        return self._labels[epoch]
+
+    def ground_truth(self, epoch: int, node: int) -> np.ndarray:
+        """The planted cluster of ``node`` at ``epoch``.
+
+        Retired nodes (label ``-1``) are their own singleton cluster.
+        """
+        labels = self._labels[epoch]
+        label = int(labels[node])
+        if label < 0:
+            return np.array([node], dtype=np.int64)
+        return np.flatnonzero(labels == label).astype(np.int64)
+
+    def community_nodes(self, epoch: int) -> np.ndarray:
+        """Nodes carrying a live community label at ``epoch``."""
+        return np.flatnonzero(self._labels[epoch] >= 0).astype(np.int64)
+
+    def graph_at(self, epoch: int) -> AttributedGraph:
+        """Build epoch ``epoch``'s snapshot from scratch.
+
+        Bitwise-identical (adjacency, degrees, attributes, communities)
+        to replaying ``deltas[:epoch]`` through a ``GraphStore`` — the
+        oracle the property tests pin.
+        """
+        n = self.n_at(epoch)
+        return AttributedGraph.from_edges(
+            n,
+            self._edges[epoch],
+            attributes=self._raw_attributes[epoch],
+            communities=self._graph_communities[epoch],
+            secondary_communities=np.full(n, -1, dtype=np.int64),
+            name=f"{self.base.name}@{epoch}",
+        )
+
+
+def _edge_array(adj: list[set]) -> np.ndarray:
+    pairs = sorted(
+        (u, v) for u, neighbors in enumerate(adj) for v in neighbors if u < v
+    )
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.array(pairs, dtype=np.int64)
+
+
+def _noise_profile(topics: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One confusable noise row: other-topic blend + random keywords."""
+    confuser = topics[int(rng.integers(0, topics.shape[0]))]
+    random_profile = sparse_topic_profiles(1, topics.shape[1], rng)[0]
+    return normalize_rows((0.7 * confuser + 0.3 * random_profile)[None, :])[0]
+
+
+def _topic_row(
+    topics: np.ndarray,
+    label: int,
+    noise: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A raw (un-normalized) attribute row sampled around a topic."""
+    return topics[label] + noise * _noise_profile(topics, rng)
+
+
+def _background_row(
+    topics: np.ndarray, noise: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A raw attribute row with no community signal (retired nodes)."""
+    return (1.0 + noise) * _noise_profile(topics, rng)
+
+
+def _live_communities(labels: np.ndarray, min_size: int) -> list[int]:
+    live, counts = np.unique(labels[labels >= 0], return_counts=True)
+    return [int(c) for c, size in zip(live, counts) if size >= min_size]
+
+
+def _sample_without(
+    pool: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    count = min(count, pool.shape[0])
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(pool, size=count, replace=False)
+
+
+def generate_dynamic_sbm(
+    config: DynamicSBMConfig,
+    seed: int | None = None,
+    name: str = "dynamic-sbm",
+) -> DynamicScenario:
+    """Generate a seeded evolving-community scenario.
+
+    Deterministic in ``(config, seed)``: the same pair reproduces the
+    exact delta stream, labels, and raw attribute rows.
+    """
+    rng = np.random.default_rng(seed)
+    cfg = config
+
+    # --- base graph ------------------------------------------------------
+    sizes = community_sizes(cfg.n, cfg.n_communities, rng)
+    labels = np.repeat(np.arange(cfg.n_communities), sizes)
+    rng.shuffle(labels)
+    labels = labels.astype(np.int64)
+
+    edges = planted_partition_edges(labels, cfg.avg_degree, cfg.mixing, rng)
+    edges = ensure_connected_cover(edges, labels, rng)
+
+    topics = sparse_topic_profiles(cfg.n_communities, cfg.d, rng)
+    background = sparse_topic_profiles(1, cfg.d, rng)[0]
+    topics = normalize_rows(
+        (1.0 - cfg.topic_overlap) * topics + cfg.topic_overlap * background
+    )
+    topic_list = [topics[c].copy() for c in range(cfg.n_communities)]
+
+    raw = np.empty((cfg.n, cfg.d))
+    for node in range(cfg.n):
+        raw[node] = _topic_row(
+            topics, int(labels[node]), cfg.attribute_noise, rng
+        )
+
+    adj: list[set] = [set() for _ in range(cfg.n)]
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u != v:
+            adj[u].add(v)
+            adj[v].add(u)
+
+    base_edges = _edge_array(adj)
+    base = AttributedGraph.from_edges(
+        cfg.n,
+        base_edges,
+        attributes=raw.copy(),
+        communities=labels.copy(),
+        secondary_communities=np.full(cfg.n, -1, dtype=np.int64),
+        name=name,
+    )
+
+    labels = labels.copy()
+    raw_rows = [raw[node].copy() for node in range(cfg.n)]
+
+    edges_per_epoch = [base_edges]
+    raw_per_epoch = [raw.copy()]
+    comms_per_epoch = [labels.copy()]
+    birth_labels: list[int] = []
+    records: list[EpochRecord] = []
+
+    merge_epochs = set(int(e) for e in cfg.merge_epochs)
+    split_epochs = set(int(e) for e in cfg.split_epochs)
+
+    def _members(c: int) -> np.ndarray:
+        return np.flatnonzero(labels == c).astype(np.int64)
+
+    def _topics_matrix() -> np.ndarray:
+        return np.stack(topic_list)
+
+    def _migrate(
+        builder: _DeltaBuilder,
+        node: int,
+        target: int,
+        target_members: np.ndarray,
+    ) -> None:
+        """Move ``node`` to community ``target``: rewire + re-draw attrs."""
+        old = int(labels[node])
+        if old >= 0:
+            old_neighbors = [
+                v
+                for v in sorted(builder.adj[node])
+                if v < labels.shape[0] and labels[v] == old
+            ]
+            for v in old_neighbors:
+                if rng.random() < cfg.detach_fraction:
+                    builder.remove_edge(node, v)
+        hosts = _sample_without(
+            target_members[target_members != node], cfg.attach_edges, rng
+        )
+        for host in hosts:
+            builder.add_edge(node, int(host))
+        builder.set_row(
+            node, _topic_row(_topics_matrix(), target, cfg.attribute_noise, rng)
+        )
+        labels[node] = target
+
+    for epoch in range(1, cfg.epochs + 1):
+        builder = _DeltaBuilder(adj, n0=labels.shape[0])
+        events: list[dict] = []
+        moved_this_epoch: set[int] = set()
+
+        # --- scheduled merge ---------------------------------------------
+        if epoch in merge_epochs:
+            live = _live_communities(labels, cfg.min_live_size)
+            if len(live) >= 2:
+                a, b = (int(c) for c in rng.choice(live, size=2, replace=False))
+                target_members = _members(a)
+                absorbed = _members(b)
+                for node in absorbed:
+                    _migrate(builder, int(node), a, target_members)
+                    moved_this_epoch.add(int(node))
+                events.append(
+                    {"kind": "merge", "source": b, "target": a,
+                     "moved": int(absorbed.shape[0])}
+                )
+
+        # --- scheduled split ---------------------------------------------
+        if epoch in split_epochs:
+            live = _live_communities(labels, max(cfg.min_live_size, 8))
+            live = [c for c in live if not any(
+                e["kind"] == "merge" and e["target"] == c for e in events
+            )]
+            if live:
+                source = max(live, key=lambda c: _members(c).shape[0])
+                members = _members(source)
+                seceding = _sample_without(members, members.shape[0] // 2, rng)
+                new_label = len(topic_list)
+                parent_topic = topic_list[source]
+                fresh = sparse_topic_profiles(1, cfg.d, rng)[0]
+                topic_list.append(
+                    normalize_rows((0.5 * parent_topic + 0.5 * fresh)[None, :])[0]
+                )
+                stay = np.setdiff1d(members, seceding)
+                stay_set = set(int(v) for v in stay)
+                for node in sorted(int(v) for v in seceding):
+                    for v in sorted(builder.adj[node] & stay_set):
+                        if rng.random() < cfg.detach_fraction:
+                            builder.remove_edge(node, v)
+                for node in sorted(int(v) for v in seceding):
+                    peers = seceding[seceding != node]
+                    for host in _sample_without(peers, cfg.attach_edges, rng):
+                        builder.add_edge(node, int(host))
+                    builder.set_row(
+                        node,
+                        _topic_row(
+                            _topics_matrix(), new_label, cfg.attribute_noise, rng
+                        ),
+                    )
+                    labels[node] = new_label
+                    moved_this_epoch.add(node)
+                events.append(
+                    {"kind": "split", "source": int(source), "new": new_label,
+                     "moved": int(seceding.shape[0]),
+                     "nodes": tuple(sorted(int(v) for v in seceding))}
+                )
+
+        # --- membership churn --------------------------------------------
+        live = _live_communities(labels, cfg.min_live_size)
+        alive = np.flatnonzero(labels >= 0)
+        alive = alive[~np.isin(alive, sorted(moved_this_epoch))]
+        n_churn = int(round(cfg.churn_fraction * alive.shape[0]))
+        if len(live) >= 2 and n_churn > 0:
+            movers = _sample_without(alive, n_churn, rng)
+            for node in sorted(int(v) for v in movers):
+                choices = [c for c in live if c != int(labels[node])]
+                if not choices:
+                    continue
+                target = int(choices[int(rng.integers(0, len(choices)))])
+                _migrate(builder, node, target, _members(target))
+                moved_this_epoch.add(node)
+            if movers.shape[0]:
+                events.append({"kind": "churn", "moved": int(movers.shape[0])})
+
+        # --- node births --------------------------------------------------
+        n_birth = int(round(cfg.birth_fraction * labels.shape[0]))
+        live = _live_communities(labels, cfg.min_live_size)
+        if live and n_birth > 0:
+            for _ in range(n_birth):
+                host_comm = int(live[int(rng.integers(0, len(live)))])
+                hosts = _sample_without(
+                    _members(host_comm), max(1, cfg.attach_edges), rng
+                )
+                row = _topic_row(
+                    _topics_matrix(), host_comm, cfg.attribute_noise, rng
+                )
+                node = builder.born(host_comm, row)
+                for host in hosts:
+                    builder.add_edge(node, int(host))
+            events.append({"kind": "birth", "count": n_birth})
+
+        # --- node deaths (retirement) ------------------------------------
+        alive = np.flatnonzero(labels >= 0)
+        alive = alive[~np.isin(alive, sorted(moved_this_epoch))]
+        n_death = int(round(cfg.death_fraction * alive.shape[0]))
+        if n_death > 0 and alive.shape[0] > n_death:
+            dying = _sample_without(alive, n_death, rng)
+            for node in sorted(int(v) for v in dying):
+                comm = int(labels[node])
+                peers = [
+                    v
+                    for v in sorted(builder.adj[node])
+                    if v < labels.shape[0] and labels[v] == comm
+                ]
+                for v in peers:
+                    builder.remove_edge(node, v)
+                builder.set_row(
+                    node,
+                    _background_row(_topics_matrix(), cfg.attribute_noise, rng),
+                )
+                labels[node] = -1
+                moved_this_epoch.add(node)
+            events.append({"kind": "death", "count": int(dying.shape[0])})
+
+        # --- attribute drift ----------------------------------------------
+        alive = np.flatnonzero(labels >= 0)
+        alive = alive[~np.isin(alive, sorted(moved_this_epoch))]
+        alive = alive[alive < builder.n0]
+        n_drift = int(round(cfg.drift_fraction * alive.shape[0]))
+        if n_drift > 0:
+            drifting = _sample_without(alive, n_drift, rng)
+            for node in sorted(int(v) for v in drifting):
+                builder.set_row(
+                    node,
+                    _topic_row(
+                        _topics_matrix(),
+                        int(labels[node]),
+                        cfg.attribute_noise,
+                        rng,
+                    ),
+                )
+            events.append({"kind": "drift", "rows": int(drifting.shape[0])})
+
+        # --- commit the epoch ---------------------------------------------
+        delta = builder.to_delta()
+        for node, row in builder.set_rows.items():
+            raw_rows[node] = row
+        for row in builder.born_rows:
+            raw_rows.append(row)
+        birth_labels.extend(builder.born_labels)
+        if builder.born_labels:
+            labels = np.concatenate(
+                [labels, np.array(builder.born_labels, dtype=np.int64)]
+            )
+
+        edges_per_epoch.append(_edge_array(adj))
+        raw_per_epoch.append(np.stack(raw_rows))
+        comms_per_epoch.append(
+            np.concatenate(
+                [
+                    comms_per_epoch[0],
+                    np.array(birth_labels, dtype=np.int64),
+                ]
+            )
+            if birth_labels
+            else comms_per_epoch[0].copy()
+        )
+        records.append(
+            EpochRecord(
+                epoch=epoch,
+                delta=delta,
+                labels=labels.copy(),
+                events=tuple(events),
+            )
+        )
+
+    return DynamicScenario(
+        cfg, base, records, edges_per_epoch, raw_per_epoch, comms_per_epoch
+    )

@@ -1,0 +1,176 @@
+"""Property tests for the evolving-community generators.
+
+The two generator invariants everything downstream leans on:
+
+1. **Bitwise replay parity** — pushing the delta stream through a
+   ``GraphStore`` reproduces, at every epoch, exactly the snapshot
+   ``DynamicScenario.graph_at`` builds from scratch (adjacency CSR,
+   degrees, inverse degrees, attributes, communities — all bitwise).
+2. **Event-consistent ground truth** — label changes are confined to
+   each delta's touched set, event records match what actually happened
+   to the partition, and the whole scenario is a pure function of
+   ``(config, seed)``.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import GraphStore
+from repro.scenarios import DynamicSBMConfig, generate_dynamic_sbm
+
+
+def _config(epochs=3, **overrides):
+    params = dict(
+        n=140,
+        n_communities=3,
+        avg_degree=6.0,
+        d=16,
+        epochs=epochs,
+        churn_fraction=0.04,
+        birth_fraction=0.03,
+        death_fraction=0.01,
+        drift_fraction=0.05,
+    )
+    params.update(overrides)
+    return DynamicSBMConfig(**params)
+
+
+def _assert_bitwise_equal(snapshot, reference):
+    np.testing.assert_array_equal(
+        snapshot.adjacency.indptr, reference.adjacency.indptr
+    )
+    np.testing.assert_array_equal(
+        snapshot.adjacency.indices, reference.adjacency.indices
+    )
+    np.testing.assert_array_equal(
+        snapshot.adjacency.data, reference.adjacency.data
+    )
+    np.testing.assert_array_equal(snapshot.degrees, reference.degrees)
+    np.testing.assert_array_equal(snapshot.inv_degrees, reference.inv_degrees)
+    np.testing.assert_array_equal(snapshot.attributes, reference.attributes)
+    np.testing.assert_array_equal(snapshot.communities, reference.communities)
+    np.testing.assert_array_equal(
+        snapshot.secondary_communities, reference.secondary_communities
+    )
+
+
+class TestReplayParity:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_store_replay_bitwise_equals_from_scratch(self, seed):
+        scenario = generate_dynamic_sbm(
+            _config(merge_epochs=(2,), split_epochs=(3,)), seed=seed
+        )
+        store = GraphStore(scenario.base, history=scenario.epochs + 1)
+        for record in scenario.records:
+            head = store.apply(record.delta)
+            _assert_bitwise_equal(head, scenario.graph_at(record.epoch))
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_structure_only_stream_replays(self, seed):
+        """No attribute events at all still yields a legal delta stream."""
+        scenario = generate_dynamic_sbm(
+            _config(drift_fraction=0.0, death_fraction=0.0), seed=seed
+        )
+        store = GraphStore(scenario.base)
+        for record in scenario.records:
+            head = store.apply(record.delta)
+            _assert_bitwise_equal(head, scenario.graph_at(record.epoch))
+
+
+class TestGroundTruthConsistency:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_label_changes_confined_to_touched_nodes(self, seed):
+        """Epoch-aware cache invalidation is sufficient: any node whose
+        planted label changed appears in that delta's touched set."""
+        scenario = generate_dynamic_sbm(
+            _config(merge_epochs=(2,), split_epochs=(3,)), seed=seed
+        )
+        for record in scenario.records:
+            previous = scenario.labels_at(record.epoch - 1)
+            touched = record.delta.touched_nodes(previous.shape[0])
+            changed = np.flatnonzero(
+                record.labels[: previous.shape[0]] != previous
+            )
+            assert np.isin(changed, touched).all()
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_events_match_partition_history(self, seed):
+        scenario = generate_dynamic_sbm(
+            _config(epochs=4, merge_epochs=(2,), split_epochs=(3,)), seed=seed
+        )
+        for record in scenario.records:
+            previous = scenario.labels_at(record.epoch - 1)
+            labels = record.labels
+            for event in record.events:
+                if event["kind"] == "merge":
+                    # The absorbed community is gone...
+                    assert not np.any(labels == event["source"])
+                    # ...and its former members now carry the target label.
+                    former = np.flatnonzero(previous == event["source"])
+                    assert former.shape[0] == event["moved"]
+                    assert np.all(labels[former] == event["target"])
+                elif event["kind"] == "split":
+                    seceded = np.array(event["nodes"], dtype=np.int64)
+                    assert seceded.shape[0] == event["moved"] > 0
+                    # Every seceded member came from the source community
+                    # and now carries the freshly minted label.
+                    assert np.all(previous[seceded] == event["source"])
+                    assert np.all(labels[seceded] == event["new"])
+                elif event["kind"] == "birth":
+                    assert labels.shape[0] - previous.shape[0] == event["count"]
+                    assert record.delta.add_nodes == event["count"]
+                elif event["kind"] == "death":
+                    retired = np.flatnonzero(
+                        (labels[: previous.shape[0]] == -1) & (previous >= 0)
+                    )
+                    assert retired.shape[0] == event["count"]
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_deterministic_in_config_and_seed(self, seed):
+        config = _config(merge_epochs=(2,))
+        first = generate_dynamic_sbm(config, seed=seed)
+        second = generate_dynamic_sbm(config, seed=seed)
+        for a, b in zip(first.records, second.records):
+            assert a.delta.to_mapping() == b.delta.to_mapping()
+            np.testing.assert_array_equal(a.labels, b.labels)
+            assert a.events == b.events
+
+
+class TestScenarioSurface:
+    def test_ground_truth_and_counts(self):
+        scenario = generate_dynamic_sbm(_config(), seed=5)
+        assert scenario.epochs == 3
+        assert scenario.n_at(0) == scenario.base.n
+        final = scenario.records[-1]
+        assert scenario.n_at(scenario.epochs) == final.labels.shape[0]
+        live = scenario.community_nodes(scenario.epochs)
+        seed_node = int(live[0])
+        truth = scenario.ground_truth(scenario.epochs, seed_node)
+        assert seed_node in truth
+        label = final.labels[seed_node]
+        assert truth.shape[0] == int(np.sum(final.labels == label))
+
+    def test_retired_node_is_singleton_truth(self):
+        scenario = generate_dynamic_sbm(
+            _config(death_fraction=0.05), seed=9
+        )
+        labels = scenario.labels_at(scenario.epochs)
+        retired = np.flatnonzero(labels == -1)
+        assert retired.shape[0] > 0
+        truth = scenario.ground_truth(scenario.epochs, int(retired[0]))
+        np.testing.assert_array_equal(truth, [int(retired[0])])
+
+    def test_degree_floor_holds_throughout(self):
+        """No event sequence may isolate a node (snapshots reject it)."""
+        scenario = generate_dynamic_sbm(
+            _config(death_fraction=0.08, churn_fraction=0.1), seed=1
+        )
+        store = GraphStore(scenario.base)
+        for record in scenario.records:
+            head = store.apply(record.delta)
+            assert head.degrees.min() >= 1.0
